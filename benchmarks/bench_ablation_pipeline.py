@@ -1,0 +1,161 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* MCS on/off and fast-decisions on/off on a mixed workload — quantifies
+  how much work each stage saves and how often the deterministic
+  short-circuits answer on their own.
+* Broker covering policy (none / pairwise / group) — subscription traffic
+  in a small overlay.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+
+from repro.broker import BrokerNetwork, CoveringPolicy, random_tree_topology
+from repro.core.results import DecisionMethod
+from repro.core.subsumption import SubsumptionChecker
+from repro.experiments.series import ResultTable
+from repro.model import Schema
+from repro.workloads.comparison import ComparisonWorkload
+from repro.workloads.scenarios import (
+    non_cover_scenario,
+    pairwise_covering_scenario,
+    redundant_covering_scenario,
+)
+
+SEED = 20060331
+
+
+def _mixed_instances(count_per_scenario: int = 20, k: int = 60, m: int = 10):
+    schema = Schema.uniform_integer(m, 0, 10_000)
+    rng = np.random.default_rng(SEED)
+    instances = []
+    for _ in range(count_per_scenario):
+        instances.append(pairwise_covering_scenario(schema, k, rng))
+        instances.append(redundant_covering_scenario(schema, k, rng))
+        instances.append(non_cover_scenario(schema, k, rng))
+    return instances
+
+
+@pytest.fixture(scope="module")
+def mixed_instances():
+    return _mixed_instances()
+
+
+@pytest.mark.parametrize(
+    "label, use_mcs, use_fast",
+    [
+        ("full pipeline", True, True),
+        ("no MCS", False, True),
+        ("no fast decisions", True, False),
+        ("RSPC only", False, False),
+    ],
+)
+def test_ablation_pipeline_stages(benchmark, mixed_instances, label, use_mcs, use_fast):
+    """Cost and behaviour of the checker with stages disabled."""
+    checker = SubsumptionChecker(
+        delta=1e-6,
+        max_iterations=300,
+        use_mcs=use_mcs,
+        use_fast_decisions=use_fast,
+        rng=SEED,
+    )
+
+    def run():
+        methods = {}
+        iterations = 0
+        for instance in mixed_instances:
+            result = checker.check(instance.subscription, instance.candidates)
+            methods[result.method.value] = methods.get(result.method.value, 0) + 1
+            iterations += result.iterations_performed
+            # Correctness: covered instances are never rejected.
+            if instance.expected_covered:
+                assert result.covered
+        return methods, iterations
+
+    methods, iterations = benchmark(run)
+    print(f"\n[{label}] decision methods: {methods}, RSPC iterations: {iterations}")
+    if use_fast or use_mcs:
+        deterministic = (
+            methods.get(DecisionMethod.PAIRWISE_COVER.value, 0)
+            + methods.get(DecisionMethod.POLYHEDRON_WITNESS.value, 0)
+            + methods.get(DecisionMethod.EMPTY_MCS.value, 0)
+        )
+        assert deterministic > 0
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [CoveringPolicy.NONE, CoveringPolicy.PAIRWISE, CoveringPolicy.GROUP],
+)
+def test_ablation_broker_covering_policy(benchmark, policy):
+    """Subscription traffic in a 20-broker tree under each covering policy."""
+    schema = Schema.uniform_integer(8, 0, 10_000)
+
+    def run():
+        workload = ComparisonWorkload(schema, rng=SEED, constrained_fraction=0.5)
+        network = BrokerNetwork(
+            random_tree_topology(20, SEED),
+            policy=policy,
+            delta=1e-6,
+            max_iterations=200,
+            rng=SEED,
+        )
+        rng = np.random.default_rng(SEED)
+        broker_ids = network.broker_ids
+        for index in range(120):
+            client = f"client-{index}"
+            broker = broker_ids[int(rng.integers(0, len(broker_ids)))]
+            network.attach_client(client, broker)
+            network.subscribe(client, workload.subscription(subscriber=client))
+        return network.metrics
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[{policy.value}] {metrics.summary()}")
+    if policy is not CoveringPolicy.NONE:
+        assert metrics.suppressed_subscriptions > 0
+
+
+def test_ablation_report_table(benchmark):
+    """Summarise the covering policies side by side in one table."""
+
+    def run():
+        schema = Schema.uniform_integer(8, 0, 10_000)
+        table = ResultTable(
+            title="Ablation — subscription traffic by covering policy",
+            x_label="policy",
+        )
+        for position, policy in enumerate(
+            (CoveringPolicy.NONE, CoveringPolicy.PAIRWISE, CoveringPolicy.GROUP)
+        ):
+            workload = ComparisonWorkload(schema, rng=SEED, constrained_fraction=0.5)
+            network = BrokerNetwork(
+                random_tree_topology(12, SEED),
+                policy=policy,
+                delta=1e-6,
+                max_iterations=200,
+                rng=SEED,
+            )
+            rng = np.random.default_rng(SEED)
+            broker_ids = network.broker_ids
+            for index in range(80):
+                client = f"client-{index}"
+                broker = broker_ids[int(rng.integers(0, len(broker_ids)))]
+                network.attach_client(client, broker)
+                network.subscribe(client, workload.subscription(subscriber=client))
+            table.add_row(
+                position,
+                {
+                    "subscription_messages": network.metrics.subscription_messages,
+                    "suppressed": network.metrics.suppressed_subscriptions,
+                    "routing_entries": network.total_routing_entries(),
+                },
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    messages = table.column("subscription_messages")
+    # none >= pairwise >= group
+    assert messages[0] >= messages[1] >= messages[2]

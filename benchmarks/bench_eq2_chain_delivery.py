@@ -1,0 +1,36 @@
+"""Equation 2 / Proposition 5 — delivery probability along a broker chain.
+
+The paper derives (without plotting) the probability that a matching
+publication is still found when a subscription was erroneously withheld at
+the head of a broker chain.  This benchmark sweeps the chain length and
+the per-broker publication probability, reporting the closed form next to
+a Monte Carlo simulation of the same process.
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import ChainConfig, run_chain_delivery
+
+
+def _config() -> ChainConfig:
+    if paper_scale():
+        return ChainConfig.paper()
+    return ChainConfig()
+
+
+def test_eq2_chain_delivery_probability(benchmark):
+    """Regenerate the Eq. 2 sweep and validate the closed form."""
+    results = benchmark.pedantic(
+        run_chain_delivery, args=(_config(),), rounds=1, iterations=1
+    )
+    table = results["eq2"]
+    report(table)
+    config = _config()
+    for rho in config.rho_values:
+        analytic = table.column(f"rho={rho:g} (analytic)")
+        simulated = table.column(f"rho={rho:g} (simulated)")
+        # Simulation and closed form agree pointwise.
+        for a, s in zip(analytic, simulated):
+            assert abs(a - s) <= 0.05
+        # Longer chains can only help to recover the publication.
+        assert analytic == sorted(analytic)

@@ -1,0 +1,38 @@
+"""Figure 7 — theoretical RSPC iterations d (redundant covering), ±MCS.
+
+Paper result: without MCS the required d is astronomically large
+(log10(d) grows with k and m); after the MCS reduction d becomes practical
+and stabilises once k exceeds the number of simple predicates.
+"""
+
+import math
+
+from conftest import paper_scale, report
+
+from repro.experiments import RedundantCoveringConfig, run_redundant_covering
+
+
+def _config() -> RedundantCoveringConfig:
+    if paper_scale():
+        return RedundantCoveringConfig.paper()
+    return RedundantCoveringConfig()
+
+
+def test_fig07_theoretical_iterations(benchmark):
+    """Regenerate the Figure 7 series (log10 d with and without MCS)."""
+    results = benchmark.pedantic(
+        run_redundant_covering, args=(_config(),), rounds=1, iterations=1
+    )
+    fig7 = results["fig7"]
+    report(fig7)
+    config = _config()
+    for m in config.m_values:
+        plain = fig7.column(f"m={m}")
+        reduced = fig7.column(f"m={m};MCS")
+        # MCS never increases the required number of trials.
+        assert all(r <= p + 1e-9 for p, r in zip(plain, reduced))
+        # Without MCS the largest instances need astronomically many trials,
+        # with MCS they stay within a practical budget (paper's key message).
+        finite_plain = [v for v in plain if math.isfinite(v)]
+        finite_reduced = [v for v in reduced if math.isfinite(v)]
+        assert max(finite_plain) > max(finite_reduced)

@@ -1,0 +1,25 @@
+"""Figure 8 — MCS reduction of redundant subscriptions (non cover).
+
+Paper result: in the non-cover scenario the MCS reduction removes
+essentially the whole candidate set (88–100 %), even more aggressively
+than in the redundant covering scenario.
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import NonCoverConfig, run_non_cover
+
+
+def _config() -> NonCoverConfig:
+    if paper_scale():
+        return NonCoverConfig.paper()
+    return NonCoverConfig()
+
+
+def test_fig08_noncover_reduction(benchmark):
+    """Regenerate the Figure 8 series."""
+    results = benchmark.pedantic(run_non_cover, args=(_config(),), rounds=1, iterations=1)
+    fig8 = results["fig8"]
+    report(fig8)
+    for series in fig8.series.values():
+        assert all(value >= 0.8 for value in series.values)

@@ -1,0 +1,33 @@
+"""Figure 9 — theoretical RSPC iterations d (non cover), ±MCS.
+
+Paper result: the theoretical d collapses after the MCS reduction — most
+of the time the reduced set is empty, so no probabilistic trials are
+needed at all.
+"""
+
+import math
+
+from conftest import paper_scale, report
+
+from repro.experiments import NonCoverConfig, run_non_cover
+
+
+def _config() -> NonCoverConfig:
+    if paper_scale():
+        return NonCoverConfig.paper()
+    return NonCoverConfig()
+
+
+def test_fig09_noncover_theoretical_d(benchmark):
+    """Regenerate the Figure 9 series."""
+    results = benchmark.pedantic(run_non_cover, args=(_config(),), rounds=1, iterations=1)
+    fig9 = results["fig9"]
+    report(fig9)
+    config = _config()
+    for m in config.m_values:
+        plain = fig9.column(f"m={m}")
+        reduced = fig9.column(f"m={m};MCS")
+        assert all(r <= p + 1e-9 for p, r in zip(plain, reduced))
+        # After MCS the remaining theoretical budget is tiny (near zero).
+        finite_reduced = [v for v in reduced if math.isfinite(v)]
+        assert max(finite_reduced) <= 3.0

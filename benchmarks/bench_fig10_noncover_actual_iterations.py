@@ -1,0 +1,32 @@
+"""Figure 10 — actual RSPC iterations performed (non cover), ±MCS.
+
+Paper result: the average number of guesses actually performed is below
+0.5 with MCS (the reduced set is usually empty) and stays very small even
+without MCS because a point witness is found almost immediately — far
+below the theoretical d of Figure 9.
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import NonCoverConfig, run_non_cover
+
+
+def _config() -> NonCoverConfig:
+    if paper_scale():
+        return NonCoverConfig.paper()
+    return NonCoverConfig()
+
+
+def test_fig10_noncover_actual_iterations(benchmark):
+    """Regenerate the Figure 10 series."""
+    results = benchmark.pedantic(run_non_cover, args=(_config(),), rounds=1, iterations=1)
+    fig10 = results["fig10"]
+    report(fig10)
+    config = _config()
+    for m in config.m_values:
+        with_mcs = fig10.column(f"m={m};MCS")
+        without_mcs = fig10.column(f"m={m}")
+        # With MCS the probabilistic stage is almost never needed.
+        assert all(value <= 1.0 for value in with_mcs)
+        # Even without MCS a handful of guesses suffices on average.
+        assert all(value <= 50.0 for value in without_mcs)

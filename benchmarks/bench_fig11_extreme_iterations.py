@@ -1,0 +1,37 @@
+"""Figure 11 — actual RSPC iterations vs gap size (extreme non cover).
+
+Paper result: the average number of guesses needed to find the point
+witness is governed by the relative gap size (≈ 200 guesses at a 0.5 %
+gap down to ≈ 20 at 4.5 %) and is essentially independent of the
+configured error probability.
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import ExtremeNonCoverConfig, run_extreme_non_cover
+
+
+def _config() -> ExtremeNonCoverConfig:
+    if paper_scale():
+        return ExtremeNonCoverConfig.paper()
+    return ExtremeNonCoverConfig()
+
+
+def test_fig11_extreme_noncover_iterations(benchmark):
+    """Regenerate the Figure 11 series."""
+    results = benchmark.pedantic(
+        run_extreme_non_cover, args=(_config(),), rounds=1, iterations=1
+    )
+    fig11 = results["fig11"]
+    report(fig11)
+    config = _config()
+    for delta in config.deltas:
+        series = fig11.column(f"error={delta:g}")
+        # Iterations drop as the gap widens (first vs last gap size).
+        assert series[0] >= series[-1]
+    # The curves for different error probabilities stay within the same
+    # order of magnitude (the paper's observation).
+    first_gap_values = [
+        fig11.column(f"error={delta:g}")[0] for delta in config.deltas
+    ]
+    assert max(first_gap_values) <= 10 * max(min(first_gap_values), 1.0)

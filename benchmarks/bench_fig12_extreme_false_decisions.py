@@ -1,0 +1,39 @@
+"""Figure 12 — false decisions vs gap size (extreme non cover).
+
+Paper result: the number of erroneous "covered" verdicts (lost
+subscriptions) grows with the configured error probability and shrinks as
+the uncovered gap widens; for error probabilities below 1e-6 and gaps
+larger than ~1–2 % the algorithm is always right.
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import ExtremeNonCoverConfig, run_extreme_non_cover
+
+
+def _config() -> ExtremeNonCoverConfig:
+    if paper_scale():
+        return ExtremeNonCoverConfig.paper()
+    return ExtremeNonCoverConfig()
+
+
+def test_fig12_extreme_noncover_false_decisions(benchmark):
+    """Regenerate the Figure 12 series."""
+    results = benchmark.pedantic(
+        run_extreme_non_cover, args=(_config(),), rounds=1, iterations=1
+    )
+    fig12 = results["fig12"]
+    report(fig12)
+    config = _config()
+    for delta in config.deltas:
+        series = fig12.column(f"error={delta:g}")
+        # False decisions never increase as the gap widens.
+        assert series[0] >= series[-1]
+        # The widest gap is (nearly) error free.
+        assert series[-1] <= max(0.02 * config.runs_per_point, 1)
+    # Lower error probability never produces more false decisions in total.
+    totals = {
+        delta: sum(fig12.column(f"error={delta:g}")) for delta in config.deltas
+    }
+    ordered = sorted(config.deltas)  # ascending delta = stricter first
+    assert totals[ordered[0]] <= totals[ordered[-1]] + 1

@@ -1,0 +1,32 @@
+"""Figure 13 — active subscription set growth, pair-wise vs group coverage.
+
+Paper result: on a popularity-skewed subscription stream the group
+coverage keeps the active set substantially smaller than the classical
+pair-wise coverage for every m, and the absolute set size grows with m
+(higher-dimensional subscriptions are covered less often).
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import ComparisonConfig, run_comparison
+
+
+def _config() -> ComparisonConfig:
+    if paper_scale():
+        return ComparisonConfig.paper()
+    return ComparisonConfig()
+
+
+def test_fig13_subscription_set_growth(benchmark):
+    """Regenerate the Figure 13 series."""
+    results = benchmark.pedantic(run_comparison, args=(_config(),), rounds=1, iterations=1)
+    fig13 = results["fig13"]
+    report(fig13)
+    config = _config()
+    for m in config.m_values:
+        pairwise = fig13.column(f"m={m}, pair-wise")
+        group = fig13.column(f"m={m}, group")
+        # Group covering never keeps more active subscriptions than pair-wise.
+        assert all(g <= p + 1e-9 for g, p in zip(group, pairwise))
+        # Both policies reduce the stream below flooding (the raw count).
+        assert pairwise[-1] < config.total_subscriptions

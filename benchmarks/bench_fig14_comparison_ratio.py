@@ -1,0 +1,32 @@
+"""Figure 14 — group/pair-wise active-set size ratio.
+
+Paper result: the ratio starts around 0.7–0.8 after 1000 subscriptions and
+keeps decreasing (group coverage filters relatively more as the stream
+grows), with larger m giving ratios closer to 1.
+"""
+
+from conftest import paper_scale, report
+
+from repro.experiments import ComparisonConfig, run_comparison
+
+
+def _config() -> ComparisonConfig:
+    if paper_scale():
+        return ComparisonConfig.paper()
+    return ComparisonConfig()
+
+
+def test_fig14_group_to_pairwise_ratio(benchmark):
+    """Regenerate the Figure 14 series."""
+    results = benchmark.pedantic(run_comparison, args=(_config(),), rounds=1, iterations=1)
+    fig14 = results["fig14"]
+    report(fig14)
+    config = _config()
+    for m in config.m_values:
+        ratios = fig14.column(f"m={m}")
+        # The ratio is a genuine reduction (≤ 1) at every checkpoint...
+        assert all(ratio <= 1.0 + 1e-9 for ratio in ratios)
+        # ...and the reduction at the end of the stream is real (< 1).
+        assert ratios[-1] < 1.0
+        # The trend is downward: the final ratio does not exceed the first.
+        assert ratios[-1] <= ratios[0] + 0.05

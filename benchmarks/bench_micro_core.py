@@ -1,0 +1,134 @@
+"""Micro-benchmarks of the core building blocks.
+
+These do not correspond to a specific figure; they quantify the per-call
+cost of the pipeline stages on a representative instance (k = 200 hard
+non-pairwise-coverable candidates over m = 15 attributes) and the
+publication-matching throughput of the different indexes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.conflict_table import ConflictTable
+from repro.core.mcs import minimized_cover_set
+from repro.core.pairwise import PairwiseCoverageChecker
+from repro.core.rspc import run_rspc
+from repro.core.subsumption import SubsumptionChecker
+from repro.core.witness import estimate_smallest_witness
+from repro.matching.counting_index import CountingIndex
+from repro.matching.engine import MatchingEngine
+from repro.matching.selectivity_index import SelectivityIndex
+from repro.model import Schema
+from repro.workloads.generators import random_publication, random_subscription
+from repro.workloads.scenarios import redundant_covering_scenario
+
+K = 200
+M = 15
+SEED = 20060331
+
+
+@pytest.fixture(scope="module")
+def instance():
+    schema = Schema.uniform_integer(M, 0, 10_000)
+    return redundant_covering_scenario(schema, K, SEED)
+
+
+@pytest.fixture(scope="module")
+def conflict_table(instance):
+    return ConflictTable(instance.subscription, instance.candidates)
+
+
+def test_conflict_table_construction(benchmark, instance):
+    """Definition 2: building the k x 2m conflict table (O(m k))."""
+    table = benchmark(
+        ConflictTable, instance.subscription, instance.candidates
+    )
+    assert table.k == K
+
+
+def test_mcs_reduction(benchmark, conflict_table):
+    """Algorithm 3: the Minimized Cover Set reduction."""
+    result = benchmark(minimized_cover_set, conflict_table)
+    assert result.reduced_size <= K
+
+
+def test_rho_w_estimation(benchmark, conflict_table):
+    """Algorithm 2: estimating I(sw) and rho_w from the conflict table."""
+    estimate = benchmark(estimate_smallest_witness, conflict_table)
+    assert 0.0 <= estimate.rho_w <= 1.0
+
+
+def test_rspc_execution(benchmark, instance, conflict_table):
+    """Algorithm 1: a capped RSPC run on the covering instance."""
+    estimate = estimate_smallest_witness(conflict_table)
+
+    def run():
+        return run_rspc(
+            instance.subscription,
+            instance.candidates,
+            rho_w=estimate.rho_w,
+            delta=1e-6,
+            rng=SEED,
+            max_iterations=500,
+        )
+
+    result = benchmark(run)
+    assert result.covered  # the instance is covered by construction
+
+
+def test_full_pipeline_check(benchmark, instance):
+    """The complete SubsumptionChecker pipeline on the covering instance."""
+    checker = SubsumptionChecker(delta=1e-6, max_iterations=500, rng=SEED)
+
+    def run():
+        return checker.check(instance.subscription, instance.candidates)
+
+    result = benchmark(run)
+    assert result.covered
+
+
+def test_pairwise_baseline_check(benchmark, instance):
+    """The classical pair-wise covering scan (the baseline's unit cost)."""
+    result = benchmark(
+        PairwiseCoverageChecker.check, instance.subscription, instance.candidates
+    )
+    assert not result.covered  # no single candidate covers s by construction
+
+
+@pytest.mark.parametrize("index_class", [CountingIndex, SelectivityIndex])
+def test_matching_index_throughput(benchmark, index_class):
+    """Publication matching throughput of the baseline indexes."""
+    schema = Schema.uniform_integer(10, 0, 10_000)
+    rng = np.random.default_rng(SEED)
+    index = index_class(schema)
+    for _ in range(1_000):
+        index.add(random_subscription(schema, rng, width_fraction=(0.1, 0.4)))
+    publications = [random_publication(schema, rng) for _ in range(100)]
+
+    def run():
+        return sum(len(index.match(publication)) for publication in publications)
+
+    total = benchmark(run)
+    assert total >= 0
+
+
+def test_matching_engine_throughput(benchmark):
+    """Algorithm 5 matching (group-covered store + cover forest)."""
+    schema = Schema.uniform_integer(10, 0, 10_000)
+    rng = np.random.default_rng(SEED)
+    engine = MatchingEngine(
+        checker=SubsumptionChecker(delta=1e-6, max_iterations=200, rng=SEED)
+    )
+    for index in range(300):
+        engine.subscribe(
+            random_subscription(schema, rng, width_fraction=(0.1, 0.4)).replace(
+                subscriber=f"client-{index % 20}"
+            )
+        )
+    publications = [random_publication(schema, rng) for _ in range(100)]
+
+    def run():
+        return sum(len(engine.match(p).matched) for p in publications)
+
+    total = benchmark(run)
+    assert total >= 0

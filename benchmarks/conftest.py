@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper's evaluation and
+prints the resulting series so that ``pytest benchmarks/ --benchmark-only``
+output doubles as the reproduction report.
+
+Set the environment variable ``REPRO_PAPER=1`` to run the benchmarks with
+the paper's full parameters (Section 6) instead of the laptop-sized
+defaults; expect the full sweep to take considerably longer.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+import pytest
+
+__all__ = ["paper_scale", "report"]
+
+#: rendered experiment tables collected during the run, emitted in the
+#: terminal summary (which pytest never captures) so that
+#: ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` always
+#: records the reproduced figure series.
+_COLLECTED_TABLES: List[str] = []
+
+
+def paper_scale() -> bool:
+    """Whether the full paper-scale parameters were requested."""
+    return os.environ.get("REPRO_PAPER", "").strip() in {"1", "true", "yes"}
+
+
+def report(*tables) -> None:
+    """Record experiment tables for the end-of-run reproduction report."""
+    for table in tables:
+        rendered = table.render()
+        print()
+        print(rendered)
+        _COLLECTED_TABLES.append(rendered)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit every reproduced figure after the benchmark summary."""
+    if not _COLLECTED_TABLES:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced figures", sep="=")
+    for rendered in _COLLECTED_TABLES:
+        terminalreporter.write_line("")
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def use_paper_scale() -> bool:
+    """Session fixture exposing the REPRO_PAPER switch."""
+    return paper_scale()

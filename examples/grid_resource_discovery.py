@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Grid resource discovery (Section 3, Table 2) over a broker overlay.
+
+Services announce the job profiles they can host through subscriptions;
+jobs are published with their resource requirements and must reach every
+fitting service.  The example runs the same workload over a 12-broker
+random tree under the three covering policies and reports the traffic and
+delivery metrics of each.
+
+Run with::
+
+    python examples/grid_resource_discovery.py [--services 120] [--jobs 200]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.broker import BrokerNetwork, CoveringPolicy, random_tree_topology
+from repro.workloads import GridWorkload
+
+
+def run_policy(policy, services, jobs, seed):
+    """Build the overlay, register the services and publish the jobs."""
+    network = BrokerNetwork(
+        random_tree_topology(12, seed),
+        policy=policy,
+        delta=1e-6,
+        max_iterations=300,
+        rng=seed,
+    )
+    rng = np.random.default_rng(seed)
+    broker_ids = network.broker_ids
+
+    # Each service attaches to a random broker and announces its capability.
+    for index, subscription in enumerate(services):
+        service_id = subscription.subscriber or f"service-{index}"
+        broker = broker_ids[int(rng.integers(0, len(broker_ids)))]
+        network.attach_client(service_id, broker)
+        network.subscribe(service_id, subscription)
+
+    # Jobs are submitted at random brokers and routed to fitting services.
+    for index, job in enumerate(jobs):
+        client = f"gateway-{index % len(broker_ids)}"
+        if client not in network.clients:
+            network.attach_client(client, broker_ids[index % len(broker_ids)])
+        network.publish(client, job)
+    return network
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--services", type=int, default=120)
+    parser.add_argument("--jobs", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2006)
+    arguments = parser.parse_args()
+
+    workload = GridWorkload(rng=arguments.seed)
+    services = workload.service_subscriptions(arguments.services)
+    jobs = [
+        workload.job_publication(job_id=f"job-{index}")
+        for index in range(arguments.jobs // 2)
+    ]
+    # Half of the jobs are crafted to fit a specific service so that the
+    # delivery paths are genuinely exercised.
+    jobs += [
+        workload.matching_job(services[index % len(services)], job_id=f"fit-{index}")
+        for index in range(arguments.jobs - len(jobs))
+    ]
+
+    print(
+        f"Grid resource discovery: {arguments.services} services, "
+        f"{len(jobs)} jobs, 12-broker random tree\n"
+    )
+    header = (
+        f"{'policy':<12}{'sub msgs':>10}{'suppressed':>12}{'pub msgs':>10}"
+        f"{'notifications':>15}{'missed':>8}{'table entries':>15}"
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in (CoveringPolicy.NONE, CoveringPolicy.PAIRWISE, CoveringPolicy.GROUP):
+        # Fresh copies of the subscriptions so every run is independent.
+        fresh = [
+            subscription.replace(subscription_id=f"{subscription.id}-{policy.value}")
+            for subscription in services
+        ]
+        network = run_policy(policy, fresh, jobs, arguments.seed)
+        metrics = network.metrics
+        print(
+            f"{policy.value:<12}{metrics.subscription_messages:>10}"
+            f"{metrics.suppressed_subscriptions:>12}{metrics.publication_messages:>10}"
+            f"{metrics.notifications:>15}{metrics.missed_notifications:>8}"
+            f"{network.total_routing_entries():>15}"
+        )
+
+    print(
+        "\nThe covering policies cut the subscription traffic and the routing"
+        "\nstate while delivering (essentially) the same notifications; the"
+        "\ngroup policy additionally suppresses subscriptions that are only"
+        "\ncovered by a *union* of service announcements."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Distributed publish/subscribe broker overlay.
+
+The simulator reproduces the distributed setting of Sections 2 and 5: a
+network of brokers connected by logical links, subscription propagation by
+flooding with reverse-path forwarding, and covering-based suppression of
+redundant subscriptions.  The covering policy is pluggable (``none``,
+``pairwise``, ``group``) so the traffic impact of the paper's probabilistic
+group subsumption can be measured against the classical baselines, and the
+delivery loss caused by erroneous coverage decisions can be quantified
+(Proposition 5 / Eq. 2).
+"""
+
+from repro.broker.broker import Broker
+from repro.broker.chain import ChainModel, simulate_chain_delivery
+from repro.broker.messages import (
+    Message,
+    NotificationRecord,
+    PublicationMessage,
+    SubscriptionMessage,
+    UnsubscriptionMessage,
+)
+from repro.broker.metrics import NetworkMetrics
+from repro.broker.network import BrokerNetwork
+from repro.broker.topologies import (
+    grid_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+from repro.core.store import CoveringPolicyName as CoveringPolicy
+
+__all__ = [
+    "Broker",
+    "BrokerNetwork",
+    "ChainModel",
+    "CoveringPolicy",
+    "Message",
+    "NetworkMetrics",
+    "NotificationRecord",
+    "PublicationMessage",
+    "SubscriptionMessage",
+    "UnsubscriptionMessage",
+    "grid_topology",
+    "line_topology",
+    "random_tree_topology",
+    "simulate_chain_delivery",
+    "star_topology",
+]

@@ -1,0 +1,286 @@
+"""A single publish/subscribe broker.
+
+Brokers implement the behaviour described in Section 2 of the paper:
+
+* a new subscription received from a local client or a neighbour is stored
+  in the routing table and — unless a covering decision suppresses it —
+  forwarded to every other neighbour (subscription flooding);
+* a publication received from a local client or a neighbour is matched
+  against the routing table and forwarded along the reverse path of each
+  matching subscription, or delivered to the local subscriber that issued
+  it (reverse path forwarding);
+* the covering decision is pluggable: ``none`` (always forward),
+  ``pairwise`` (classical single-subscription covering) or ``group`` (the
+  paper's probabilistic union covering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.broker.messages import (
+    Message,
+    NotificationRecord,
+    PublicationMessage,
+    SubscriptionMessage,
+    UnsubscriptionMessage,
+)
+from repro.broker.routing import RouteEntry, RoutingTable, SourceKind
+from repro.core.pairwise import PairwiseCoverageChecker
+from repro.core.store import CoveringPolicyName
+from repro.core.subsumption import SubsumptionChecker
+
+__all__ = ["Broker", "SubscriptionDecision"]
+
+
+@dataclass
+class SubscriptionDecision:
+    """Covering decision for one subscription toward one neighbour.
+
+    Covering-based routing decides *per link* whether a subscription still
+    has to be forwarded: the candidate set is exactly the set of
+    subscriptions this broker has previously forwarded to that neighbour
+    (what the neighbour already knows from us), which reproduces the
+    Figure 1 walkthrough where ``B4`` forwards ``s2`` to ``B3`` but not to
+    ``B5``/``B7``.
+    """
+
+    broker: str
+    subscription_id: str
+    neighbor: str
+    forwarded: bool
+    candidates_considered: int
+    rspc_iterations: int = 0
+
+
+class Broker:
+    """One node of the broker overlay.
+
+    Parameters
+    ----------
+    broker_id:
+        Unique identifier of the broker.
+    neighbors:
+        Identifiers of the directly connected brokers.
+    policy:
+        Covering policy applied when deciding whether to propagate a
+        subscription.
+    checker:
+        Group-subsumption checker used by the ``group`` policy (one per
+        broker so each has an independent random stream).
+    """
+
+    def __init__(
+        self,
+        broker_id: str,
+        neighbors: Sequence[str] = (),
+        policy: CoveringPolicyName = CoveringPolicyName.GROUP,
+        checker: Optional[SubsumptionChecker] = None,
+    ):
+        self.id = broker_id
+        self.neighbors: List[str] = list(neighbors)
+        self.policy = CoveringPolicyName(policy)
+        self.checker = checker or SubsumptionChecker()
+        self.routing = RoutingTable()
+        #: local subscribers attached to this broker
+        self.local_subscribers: Set[str] = set()
+        #: per-neighbour record of the subscriptions forwarded to it
+        self.sent: Dict[str, Dict[str, "object"]] = {}
+        #: publications already processed (loop suppression)
+        self._seen_publications: Set[str] = set()
+        #: covering decisions taken at this broker
+        self.decisions: List[SubscriptionDecision] = []
+        #: notifications delivered to local subscribers
+        self.delivered: List[NotificationRecord] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def connect(self, neighbor_id: str) -> None:
+        """Add a neighbouring broker."""
+        if neighbor_id != self.id and neighbor_id not in self.neighbors:
+            self.neighbors.append(neighbor_id)
+
+    def attach_subscriber(self, subscriber_id: str) -> None:
+        """Register a local client."""
+        self.local_subscribers.add(subscriber_id)
+
+    # ------------------------------------------------------------------
+    # Covering decision
+    # ------------------------------------------------------------------
+    def _coverage_decision(
+        self, subscription, neighbor: str
+    ) -> SubscriptionDecision:
+        """Decide whether ``subscription`` must be forwarded to ``neighbor``.
+
+        The candidate set is the set of subscriptions already forwarded to
+        that neighbour: if those jointly (group policy) or singly
+        (pair-wise policy) cover the newcomer, the neighbour learns nothing
+        new from it and the message is suppressed.
+        """
+        candidates = list(self.sent.get(neighbor, {}).values())
+        if self.policy is CoveringPolicyName.NONE or not candidates:
+            return SubscriptionDecision(
+                broker=self.id,
+                subscription_id=subscription.id,
+                neighbor=neighbor,
+                forwarded=True,
+                candidates_considered=len(candidates),
+            )
+        if self.policy is CoveringPolicyName.PAIRWISE:
+            outcome = PairwiseCoverageChecker.check(subscription, candidates)
+            return SubscriptionDecision(
+                broker=self.id,
+                subscription_id=subscription.id,
+                neighbor=neighbor,
+                forwarded=not outcome.covered,
+                candidates_considered=len(candidates),
+            )
+        result = self.checker.check(subscription, candidates)
+        return SubscriptionDecision(
+            broker=self.id,
+            subscription_id=subscription.id,
+            neighbor=neighbor,
+            forwarded=not result.covered,
+            candidates_considered=len(candidates),
+            rspc_iterations=result.iterations_performed,
+        )
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_subscription(
+        self, message: SubscriptionMessage
+    ) -> Tuple[List[Message], List[SubscriptionDecision]]:
+        """Process a subscription message.
+
+        The subscription is always recorded in the routing table (so local
+        delivery and reverse paths keep working); it is then forwarded to
+        every neighbour except the sender, unless the per-link covering
+        decision suppresses it.  Returns the outgoing messages and the
+        per-link decisions taken.
+        """
+        subscription = message.subscription
+        if subscription.id in self.routing:
+            return [], []
+
+        if message.sender is None:
+            source = RouteEntry(
+                subscription=subscription,
+                source_kind=SourceKind.LOCAL,
+                source_id=subscription.subscriber or "anonymous",
+                origin=self.id,
+            )
+        else:
+            source = RouteEntry(
+                subscription=subscription,
+                source_kind=SourceKind.NEIGHBOR,
+                source_id=message.sender,
+                origin=message.origin,
+            )
+        self.routing.add(source)
+
+        outgoing: List[Message] = []
+        decisions: List[SubscriptionDecision] = []
+        for neighbor in self.neighbors:
+            if neighbor == message.sender:
+                continue
+            decision = self._coverage_decision(subscription, neighbor)
+            decisions.append(decision)
+            self.decisions.append(decision)
+            if not decision.forwarded:
+                continue
+            self.sent.setdefault(neighbor, {})[subscription.id] = subscription
+            outgoing.append(
+                SubscriptionMessage(
+                    sender=self.id,
+                    recipient=neighbor,
+                    hops=message.hops + 1,
+                    subscription=subscription,
+                    origin=message.origin or self.id,
+                )
+            )
+        return outgoing, decisions
+
+    def handle_unsubscription(
+        self, message: UnsubscriptionMessage
+    ) -> List[Message]:
+        """Process an unsubscription, returning the outgoing messages."""
+        entry = self.routing.remove(message.subscription_id)
+        if entry is None:
+            return []
+        outgoing: List[Message] = []
+        for neighbor in self.neighbors:
+            if neighbor == message.sender:
+                continue
+            forwarded_here = self.sent.get(neighbor, {}).pop(
+                message.subscription_id, None
+            )
+            if forwarded_here is None:
+                # The neighbour never learnt about this subscription, so
+                # there is nothing to cancel in that direction.
+                continue
+            outgoing.append(
+                UnsubscriptionMessage(
+                    sender=self.id,
+                    recipient=neighbor,
+                    hops=message.hops + 1,
+                    subscription_id=message.subscription_id,
+                    origin=message.origin,
+                )
+            )
+        return outgoing
+
+    def handle_publication(self, message: PublicationMessage) -> List[Message]:
+        """Process a publication, delivering locally and forwarding.
+
+        Forwarding follows the reverse path of every matching subscription:
+        the publication is sent to each neighbour from which at least one
+        matching subscription was received (at most once per neighbour) and
+        delivered to each matching local subscriber.
+        """
+        publication = message.publication
+        if publication.id in self._seen_publications:
+            return []
+        self._seen_publications.add(publication.id)
+
+        matching = self.routing.matching_entries(publication)
+        targets: List[str] = []
+        for entry in matching:
+            if entry.source_kind is SourceKind.LOCAL:
+                self.delivered.append(
+                    NotificationRecord(
+                        broker=self.id,
+                        subscriber=entry.source_id,
+                        subscription_id=entry.subscription.id,
+                        publication_id=publication.id,
+                    )
+                )
+            elif entry.source_id != message.sender and entry.source_id not in targets:
+                targets.append(entry.source_id)
+
+        return [
+            PublicationMessage(
+                sender=self.id,
+                recipient=target,
+                hops=message.hops + 1,
+                publication=publication,
+                origin=message.origin or self.id,
+            )
+            for target in targets
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table_size(self) -> int:
+        """Number of subscriptions stored in the routing table."""
+        return len(self.routing)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Broker({self.id!r}, neighbors={len(self.neighbors)}, "
+            f"subscriptions={len(self.routing)})"
+        )

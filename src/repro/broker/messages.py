@@ -1,0 +1,79 @@
+"""Messages exchanged between brokers.
+
+The simulator is message-driven: every subscription, unsubscription and
+publication travels as a message between neighbouring brokers, and every
+message hop is counted by :class:`~repro.broker.metrics.NetworkMetrics`,
+which is how the traffic results of the evaluation are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.publications import Publication
+from repro.model.subscriptions import Subscription
+
+__all__ = [
+    "Message",
+    "SubscriptionMessage",
+    "UnsubscriptionMessage",
+    "PublicationMessage",
+    "NotificationRecord",
+]
+
+
+@dataclass
+class Message:
+    """Base class of every inter-broker message.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the sending broker, or ``None`` when the message
+        enters the network from a local client.
+    recipient:
+        Identifier of the receiving broker.
+    hops:
+        Number of broker-to-broker hops travelled so far.
+    """
+
+    sender: Optional[str]
+    recipient: str
+    hops: int = 0
+
+
+@dataclass
+class SubscriptionMessage(Message):
+    """A subscription being propagated through the overlay."""
+
+    subscription: Subscription = None  # type: ignore[assignment]
+    #: broker where the subscription entered the network
+    origin: str = ""
+
+
+@dataclass
+class UnsubscriptionMessage(Message):
+    """An unsubscription being propagated through the overlay."""
+
+    subscription_id: str = ""
+    origin: str = ""
+
+
+@dataclass
+class PublicationMessage(Message):
+    """A publication being routed along the reverse paths."""
+
+    publication: Publication = None  # type: ignore[assignment]
+    #: broker where the publication entered the network
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class NotificationRecord:
+    """A notification delivered to a local subscriber."""
+
+    broker: str
+    subscriber: str
+    subscription_id: str
+    publication_id: str

@@ -1,0 +1,79 @@
+"""Network-wide traffic and delivery metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.broker.messages import NotificationRecord
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters accumulated by a :class:`~repro.broker.network.BrokerNetwork`.
+
+    Attributes
+    ----------
+    subscription_messages:
+        Broker-to-broker subscription message hops (the traffic the paper's
+        covering optimisations aim to reduce).
+    unsubscription_messages:
+        Broker-to-broker unsubscription message hops.
+    publication_messages:
+        Broker-to-broker publication message hops.
+    notifications:
+        Notifications delivered to local subscribers.
+    expected_notifications:
+        Notifications a lossless (flooding) system would have delivered,
+        computed from the global-oracle matching of every publication
+        against every subscription in the system.
+    suppressed_subscriptions:
+        Per-link forwarding decisions where a broker withheld a subscription
+        because it was (probably) covered by what that neighbour already
+        knows.
+    subsumption_checks:
+        Number of per-link covering decisions taken by brokers.
+    rspc_iterations:
+        Total random guesses spent by the probabilistic checker across the
+        network.
+    """
+
+    subscription_messages: int = 0
+    unsubscription_messages: int = 0
+    publication_messages: int = 0
+    notifications: int = 0
+    expected_notifications: int = 0
+    suppressed_subscriptions: int = 0
+    subsumption_checks: int = 0
+    rspc_iterations: int = 0
+    delivered: List[NotificationRecord] = field(default_factory=list)
+    missed: List[NotificationRecord] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / expected notifications (1.0 when nothing expected)."""
+        if self.expected_notifications == 0:
+            return 1.0
+        return self.notifications / self.expected_notifications
+
+    @property
+    def missed_notifications(self) -> int:
+        """Expected notifications that never reached their subscriber."""
+        return max(self.expected_notifications - self.notifications, 0)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary view used by the experiment reports."""
+        return {
+            "subscription_messages": self.subscription_messages,
+            "unsubscription_messages": self.unsubscription_messages,
+            "publication_messages": self.publication_messages,
+            "notifications": self.notifications,
+            "expected_notifications": self.expected_notifications,
+            "missed_notifications": self.missed_notifications,
+            "delivery_ratio": round(self.delivery_ratio, 6),
+            "suppressed_subscriptions": self.suppressed_subscriptions,
+            "subsumption_checks": self.subsumption_checks,
+            "rspc_iterations": self.rspc_iterations,
+        }

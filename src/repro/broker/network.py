@@ -1,0 +1,263 @@
+"""The broker overlay network simulator.
+
+:class:`BrokerNetwork` owns a set of :class:`~repro.broker.broker.Broker`
+instances connected by logical links, routes messages between them with a
+synchronous FIFO queue, and accumulates the traffic/delivery metrics used
+by the distributed experiments.
+
+The simulator additionally keeps a *global oracle* of every subscription in
+the system: after each publication it knows exactly which subscribers a
+lossless system would have notified, so the notifications lost to erroneous
+probabilistic coverage decisions (the concern analysed in Section 5) are
+measured directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.broker.broker import Broker
+from repro.broker.messages import (
+    Message,
+    NotificationRecord,
+    PublicationMessage,
+    SubscriptionMessage,
+    UnsubscriptionMessage,
+)
+from repro.broker.metrics import NetworkMetrics
+from repro.core.store import CoveringPolicyName
+from repro.core.subsumption import SubsumptionChecker
+from repro.model.publications import Publication
+from repro.model.subscriptions import Subscription
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rngs
+
+__all__ = ["BrokerNetwork"]
+
+
+class BrokerNetwork:
+    """A simulated overlay of content-based publish/subscribe brokers.
+
+    Parameters
+    ----------
+    edges:
+        Logical links as ``(broker_a, broker_b)`` pairs; brokers are created
+        on first mention.
+    policy:
+        Covering policy applied by every broker.
+    delta:
+        Error bound of the probabilistic checker (``group`` policy).
+    max_iterations:
+        RSPC guess cap per covering decision.
+    rng:
+        Seed or generator controlling every broker's random stream.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[str, str]],
+        policy: CoveringPolicyName = CoveringPolicyName.GROUP,
+        delta: float = 1e-6,
+        max_iterations: int = 1_000,
+        rng: RandomSource = None,
+    ):
+        self.policy = CoveringPolicyName(policy)
+        self.delta = delta
+        self.max_iterations = max_iterations
+        self._rng = ensure_rng(rng)
+        self.brokers: Dict[str, Broker] = {}
+        self.metrics = NetworkMetrics()
+        #: client identifier -> broker identifier
+        self.clients: Dict[str, str] = {}
+        #: global oracle: every subscription with its subscriber and broker
+        self._all_subscriptions: List[Tuple[Subscription, str, str]] = []
+        self._edge_list: List[Tuple[str, str]] = []
+
+        for left, right in edges:
+            self.add_link(left, right)
+        if not self.brokers:
+            raise ValueError("a broker network needs at least one link or broker")
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def _new_broker(self, broker_id: str) -> Broker:
+        checker = SubsumptionChecker(
+            delta=self.delta,
+            max_iterations=self.max_iterations,
+            rng=spawn_rngs(self._rng, 1)[0],
+        )
+        broker = Broker(broker_id, policy=self.policy, checker=checker)
+        self.brokers[broker_id] = broker
+        return broker
+
+    def add_broker(self, broker_id: str) -> Broker:
+        """Create (or fetch) a broker."""
+        broker = self.brokers.get(broker_id)
+        if broker is None:
+            broker = self._new_broker(broker_id)
+        return broker
+
+    def add_link(self, left: str, right: str) -> None:
+        """Create a bidirectional logical link between two brokers."""
+        if left == right:
+            raise ValueError("self links are not allowed")
+        broker_left = self.add_broker(left)
+        broker_right = self.add_broker(right)
+        broker_left.connect(right)
+        broker_right.connect(left)
+        self._edge_list.append((left, right))
+
+    def attach_client(self, client_id: str, broker_id: str) -> None:
+        """Attach a subscriber/publisher client to a broker."""
+        broker = self.add_broker(broker_id)
+        broker.attach_subscriber(client_id)
+        self.clients[client_id] = broker_id
+
+    @property
+    def broker_ids(self) -> List[str]:
+        """Identifiers of every broker in the overlay."""
+        return list(self.brokers.keys())
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        """The logical links of the overlay."""
+        return list(self._edge_list)
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, client_id: str, subscription: Subscription
+    ) -> None:
+        """Issue a subscription on behalf of an attached client."""
+        broker_id = self._broker_of(client_id)
+        if subscription.subscriber is None:
+            subscription = subscription.replace(subscriber=client_id)
+        self._all_subscriptions.append((subscription, client_id, broker_id))
+        message = SubscriptionMessage(
+            sender=None,
+            recipient=broker_id,
+            subscription=subscription,
+            origin=broker_id,
+        )
+        self._run(message)
+
+    def unsubscribe(self, client_id: str, subscription_id: str) -> None:
+        """Cancel a previously issued subscription."""
+        broker_id = self._broker_of(client_id)
+        self._all_subscriptions = [
+            record
+            for record in self._all_subscriptions
+            if record[0].id != subscription_id
+        ]
+        message = UnsubscriptionMessage(
+            sender=None,
+            recipient=broker_id,
+            subscription_id=subscription_id,
+            origin=broker_id,
+        )
+        self._run(message)
+
+    def publish(self, client_id: str, publication: Publication) -> List[NotificationRecord]:
+        """Publish on behalf of an attached client.
+
+        Returns the notifications delivered for this publication (the
+        network-wide metrics are updated as a side effect).
+        """
+        broker_id = self._broker_of(client_id)
+        expected = self._expected_notifications(publication)
+        self.metrics.expected_notifications += len(expected)
+
+        delivered_before = {
+            broker.id: len(broker.delivered) for broker in self.brokers.values()
+        }
+        message = PublicationMessage(
+            sender=None,
+            recipient=broker_id,
+            publication=publication,
+            origin=broker_id,
+        )
+        self._run(message)
+
+        delivered: List[NotificationRecord] = []
+        for broker in self.brokers.values():
+            new_records = broker.delivered[delivered_before[broker.id]:]
+            delivered.extend(new_records)
+        self.metrics.notifications += len(delivered)
+        self.metrics.delivered.extend(delivered)
+
+        delivered_keys = {
+            (record.subscriber, record.subscription_id) for record in delivered
+        }
+        for record in expected:
+            if (record.subscriber, record.subscription_id) not in delivered_keys:
+                self.metrics.missed.append(record)
+        return delivered
+
+    def _broker_of(self, client_id: str) -> str:
+        broker_id = self.clients.get(client_id)
+        if broker_id is None:
+            raise KeyError(f"client {client_id!r} is not attached to any broker")
+        return broker_id
+
+    def _expected_notifications(
+        self, publication: Publication
+    ) -> List[NotificationRecord]:
+        expected: List[NotificationRecord] = []
+        for subscription, client_id, broker_id in self._all_subscriptions:
+            if subscription.contains_point(publication.values):
+                expected.append(
+                    NotificationRecord(
+                        broker=broker_id,
+                        subscriber=client_id,
+                        subscription_id=subscription.id,
+                        publication_id=publication.id,
+                    )
+                )
+        return expected
+
+    # ------------------------------------------------------------------
+    # Message pump
+    # ------------------------------------------------------------------
+    def _run(self, initial: Message) -> None:
+        queue: Deque[Message] = deque([initial])
+        while queue:
+            message = queue.popleft()
+            broker = self.brokers[message.recipient]
+            if isinstance(message, SubscriptionMessage):
+                if message.sender is not None:
+                    self.metrics.subscription_messages += 1
+                outgoing, decisions = broker.handle_subscription(message)
+                for decision in decisions:
+                    self.metrics.subsumption_checks += 1
+                    self.metrics.rspc_iterations += decision.rspc_iterations
+                    if not decision.forwarded:
+                        self.metrics.suppressed_subscriptions += 1
+            elif isinstance(message, UnsubscriptionMessage):
+                if message.sender is not None:
+                    self.metrics.unsubscription_messages += 1
+                outgoing = broker.handle_unsubscription(message)
+            elif isinstance(message, PublicationMessage):
+                if message.sender is not None:
+                    self.metrics.publication_messages += 1
+                outgoing = broker.handle_publication(message)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown message type {type(message)!r}")
+            queue.extend(outgoing)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_routing_entries(self) -> int:
+        """Sum of routing-table sizes across all brokers (memory proxy)."""
+        return sum(broker.table_size for broker in self.brokers.values())
+
+    def routing_table_sizes(self) -> Dict[str, int]:
+        """Routing-table size per broker."""
+        return {broker_id: broker.table_size for broker_id, broker in self.brokers.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"BrokerNetwork(brokers={len(self.brokers)}, policy={self.policy.value!r})"
+        )

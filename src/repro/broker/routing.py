@@ -1,0 +1,90 @@
+"""Per-broker routing state.
+
+Each broker remembers, for every subscription it has learnt about, where
+the subscription came from: either a local client or the neighbouring
+broker that forwarded it.  Publications are later routed along the reverse
+of those paths (reverse path forwarding, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.publications import Publication
+from repro.model.subscriptions import Subscription
+
+__all__ = ["SourceKind", "RouteEntry", "RoutingTable"]
+
+
+class SourceKind(str, Enum):
+    """Where a routing entry's subscription was learnt from."""
+
+    LOCAL = "local"
+    NEIGHBOR = "neighbor"
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One subscription known to a broker and its reverse-path source."""
+
+    subscription: Subscription
+    source_kind: SourceKind
+    #: local subscriber identifier or neighbouring broker identifier
+    source_id: str
+    #: broker where the subscription entered the network
+    origin: str
+
+
+class RoutingTable:
+    """Mapping of subscription identifier to :class:`RouteEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, RouteEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, entry: RouteEntry) -> bool:
+        """Insert an entry; returns ``False`` when the id is already known."""
+        if entry.subscription.id in self._entries:
+            return False
+        self._entries[entry.subscription.id] = entry
+        return True
+
+    def remove(self, subscription_id: str) -> Optional[RouteEntry]:
+        """Remove and return an entry, or ``None`` when unknown."""
+        return self._entries.pop(subscription_id, None)
+
+    def get(self, subscription_id: str) -> Optional[RouteEntry]:
+        """Look up an entry by subscription identifier."""
+        return self._entries.get(subscription_id)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def subscriptions(self) -> List[Subscription]:
+        """Every subscription known to the broker."""
+        return [entry.subscription for entry in self._entries.values()]
+
+    def entries(self) -> List[RouteEntry]:
+        """Every routing entry."""
+        return list(self._entries.values())
+
+    def matching_entries(self, publication: Publication) -> List[RouteEntry]:
+        """Entries whose subscription matches ``publication``."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.subscription.contains_point(publication.values)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return subscription_id in self._entries
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(self._entries.values())

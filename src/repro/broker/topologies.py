@@ -1,0 +1,72 @@
+"""Broker overlay topologies.
+
+Helpers returning edge lists ``[(broker_a, broker_b), …]`` for the
+topologies used by the examples and the distributed experiments: chains
+(the Proposition 5 setting), stars, 2-D grids and random trees (acyclic
+overlays are the common case for subscription flooding since reverse-path
+forwarding then induces unique delivery trees, cf. Figure 1's overlay).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = [
+    "broker_name",
+    "line_topology",
+    "star_topology",
+    "grid_topology",
+    "random_tree_topology",
+]
+
+
+def broker_name(index: int) -> str:
+    """Canonical broker identifier used by all topology helpers."""
+    return f"B{index + 1}"
+
+
+def line_topology(count: int) -> List[Tuple[str, str]]:
+    """A chain ``B1 — B2 — … — Bn`` (the Proposition 5 setting)."""
+    if count < 1:
+        raise ValueError("a topology needs at least one broker")
+    return [
+        (broker_name(index), broker_name(index + 1)) for index in range(count - 1)
+    ]
+
+
+def star_topology(count: int) -> List[Tuple[str, str]]:
+    """A hub ``B1`` connected to ``count - 1`` leaves."""
+    if count < 1:
+        raise ValueError("a topology needs at least one broker")
+    return [(broker_name(0), broker_name(index)) for index in range(1, count)]
+
+
+def grid_topology(rows: int, columns: int) -> List[Tuple[str, str]]:
+    """A ``rows x columns`` mesh with 4-neighbour connectivity."""
+    if rows < 1 or columns < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges: List[Tuple[str, str]] = []
+    for row in range(rows):
+        for column in range(columns):
+            index = row * columns + column
+            if column + 1 < columns:
+                edges.append((broker_name(index), broker_name(index + 1)))
+            if row + 1 < rows:
+                edges.append((broker_name(index), broker_name(index + columns)))
+    return edges
+
+
+def random_tree_topology(
+    count: int, rng: RandomSource = None
+) -> List[Tuple[str, str]]:
+    """A uniformly random recursive tree over ``count`` brokers."""
+    if count < 1:
+        raise ValueError("a topology needs at least one broker")
+    generator = ensure_rng(rng)
+    edges: List[Tuple[str, str]] = []
+    for index in range(1, count):
+        parent = int(generator.integers(0, index))
+        edges.append((broker_name(parent), broker_name(index)))
+    return edges

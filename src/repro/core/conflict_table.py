@@ -1,0 +1,421 @@
+"""The conflict table (Definition 2).
+
+Given a new subscription ``s`` and a set ``S = {s_1 … s_k}`` of existing
+subscriptions, the conflict table ``T`` is a ``k x 2m`` table whose entry
+``T_i^j`` holds the negated simple predicate ``¬s_i^j`` whenever
+``s ∧ ¬s_i^j`` is satisfiable, and is *undefined* otherwise.  With the
+range representation used throughout the paper there are exactly two simple
+predicates per attribute (a lower and an upper bound), so every entry is
+identified by ``(row, attribute, side)`` where ``side`` is ``LOW`` for the
+negation ``x_j < low_i^j`` and ``HIGH`` for ``x_j > high_i^j``.
+
+Building the table costs ``O(m · k)`` (Definition 2).  The table then
+supports everything the rest of the pipeline needs:
+
+* per-row counts ``t_i`` of defined entries (Corollaries 1–3),
+* detection of *conflicting* pairs of entries and per-row conflict-free
+  counts ``fc_i`` (Definition 5, Proposition 3) for the MCS reduction,
+* per-attribute minimum uncovered gaps used by the ``rho_w`` estimator
+  (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.errors import ValidationError
+from repro.model.intervals import Interval
+from repro.model.subscriptions import Subscription
+
+__all__ = ["EntrySide", "EntryRef", "ConflictTable"]
+
+
+class EntrySide(IntEnum):
+    """Which simple predicate of an attribute an entry negates."""
+
+    #: the negation ``x_j < low_i^j`` (points of ``s`` below ``s_i``'s range)
+    LOW = 0
+    #: the negation ``x_j > high_i^j`` (points of ``s`` above ``s_i``'s range)
+    HIGH = 1
+
+
+@dataclass(frozen=True)
+class EntryRef:
+    """Reference to one defined entry ``T_i^j`` of the conflict table."""
+
+    row: int
+    attribute: int
+    side: EntrySide
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        tag = "<low" if self.side is EntrySide.LOW else ">high"
+        return f"T[{self.row}][x{self.attribute + 1}{tag}]"
+
+
+class ConflictTable:
+    """The ``k x 2m`` conflict table relating ``s`` to a subscription set.
+
+    Parameters
+    ----------
+    subscription:
+        The new subscription ``s`` being tested for coverage.
+    candidates:
+        The existing subscriptions ``s_1 … s_k`` (the disjunction ``S``).
+
+    Notes
+    -----
+    All candidates must share the subscription's schema.  The table is
+    immutable once built; the MCS algorithm produces *restrictions* of the
+    table to a subset of rows via :meth:`restrict`.
+    """
+
+    def __init__(
+        self,
+        subscription: Subscription,
+        candidates: Sequence[Subscription],
+    ):
+        self.subscription = subscription
+        self.candidates: Tuple[Subscription, ...] = tuple(candidates)
+        for candidate in self.candidates:
+            if candidate.schema != subscription.schema:
+                raise ValidationError(
+                    "conflict table requires all subscriptions to share a schema"
+                )
+        self.schema = subscription.schema
+        self.m = subscription.m
+        self.k = len(self.candidates)
+
+        s_lows = subscription.lows
+        s_highs = subscription.highs
+        if self.k:
+            cand_lows = np.vstack([c.lows for c in self.candidates])
+            cand_highs = np.vstack([c.highs for c in self.candidates])
+        else:
+            cand_lows = np.empty((0, self.m), dtype=float)
+            cand_highs = np.empty((0, self.m), dtype=float)
+
+        #: per-candidate lower bounds, shape ``(k, m)``
+        self.candidate_lows = cand_lows
+        #: per-candidate upper bounds, shape ``(k, m)``
+        self.candidate_highs = cand_highs
+
+        # An entry is defined when ``s`` sticks out of ``s_i`` on that side:
+        # the LOW entry T_i^{2j-1} is defined iff s has points with
+        # ``x_j < low_i^j`` and the HIGH entry iff it has points with
+        # ``x_j > high_i^j``.
+        self.defined_low = cand_lows > s_lows[np.newaxis, :]
+        self.defined_high = cand_highs < s_highs[np.newaxis, :]
+
+        #: number of defined entries per row (the paper's ``t_i``)
+        self.row_defined_counts = (
+            self.defined_low.sum(axis=1) + self.defined_high.sum(axis=1)
+        ).astype(int)
+
+        self._discrete = np.array(
+            [domain.is_discrete for domain in self.schema.domains], dtype=bool
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def is_defined(self, row: int, attribute: int, side: EntrySide) -> bool:
+        """Whether entry ``T_row`` for ``attribute``/``side`` is defined."""
+        if side is EntrySide.LOW:
+            return bool(self.defined_low[row, attribute])
+        return bool(self.defined_high[row, attribute])
+
+    def t(self, row: int) -> int:
+        """Number of defined entries in ``row`` (the paper's ``t_i``)."""
+        return int(self.row_defined_counts[row])
+
+    def entry_bound(self, row: int, attribute: int, side: EntrySide) -> float:
+        """The numeric bound appearing in the negated predicate.
+
+        ``LOW`` entries read ``x < bound`` and ``HIGH`` entries
+        ``x > bound``.
+        """
+        if side is EntrySide.LOW:
+            return float(self.candidate_lows[row, attribute])
+        return float(self.candidate_highs[row, attribute])
+
+    def entry_region(self, row: int, attribute: int, side: EntrySide) -> Interval:
+        """Portion of ``s``'s range on ``attribute`` satisfying the entry.
+
+        For a LOW entry this is the slice of ``s`` strictly below the
+        candidate's lower bound; for a HIGH entry the slice strictly above
+        the candidate's upper bound.  On discrete domains strictness removes
+        one tick; on continuous domains the closed approximation is
+        returned (the boundary has measure zero).
+        """
+        if not self.is_defined(row, attribute, side):
+            return Interval.empty()
+        s_interval = self.subscription.interval(attribute)
+        bound = self.entry_bound(row, attribute, side)
+        tick = 1.0 if self._discrete[attribute] else 0.0
+        if side is EntrySide.LOW:
+            return s_interval.intersection(Interval(-math.inf, bound - tick))
+        return s_interval.intersection(Interval(bound + tick, math.inf))
+
+    def defined_entries(self, row: int) -> List[EntryRef]:
+        """All defined entries in ``row``."""
+        entries: List[EntryRef] = []
+        for attribute in range(self.m):
+            if self.defined_low[row, attribute]:
+                entries.append(EntryRef(row, attribute, EntrySide.LOW))
+            if self.defined_high[row, attribute]:
+                entries.append(EntryRef(row, attribute, EntrySide.HIGH))
+        return entries
+
+    def iter_defined_entries(self) -> Iterator[EntryRef]:
+        """Iterate over every defined entry of the table."""
+        for row in range(self.k):
+            yield from self.defined_entries(row)
+
+    # ------------------------------------------------------------------
+    # Corollary 1 / Corollary 2 helpers
+    # ------------------------------------------------------------------
+    def row_all_undefined(self, row: int) -> bool:
+        """Corollary 1 premise: every entry of the row is undefined.
+
+        When true, ``s`` is covered by the row's candidate alone.
+        """
+        return self.t(row) == 0
+
+    def row_all_defined(self, row: int) -> bool:
+        """Corollary 2 premise: every entry of the row is defined.
+
+        When true, ``s`` strictly covers the candidate on every attribute.
+        """
+        return self.t(row) == 2 * self.m
+
+    def covering_rows(self) -> List[int]:
+        """Rows whose candidate individually covers ``s`` (Corollary 1)."""
+        return [row for row in range(self.k) if self.row_all_undefined(row)]
+
+    def covered_candidate_rows(self) -> List[int]:
+        """Rows whose candidate is strictly inside ``s`` (Corollary 2)."""
+        return [row for row in range(self.k) if self.row_all_defined(row)]
+
+    # ------------------------------------------------------------------
+    # Conflicts (Definition 5)
+    # ------------------------------------------------------------------
+    def entries_conflict(self, first: EntryRef, second: EntryRef) -> bool:
+        """Whether two *defined* entries of different rows conflict.
+
+        Two entries conflict when ``s ∧ entry1 ∧ entry2`` is unsatisfiable.
+        With range predicates this can only happen for a LOW and a HIGH
+        entry on the same attribute whose slices of ``s`` do not meet.
+        """
+        if first.row == second.row:
+            return False
+        if first.attribute != second.attribute:
+            return False
+        if first.side == second.side:
+            return False
+        low_entry = first if first.side is EntrySide.LOW else second
+        high_entry = second if first.side is EntrySide.LOW else first
+        return self._low_high_conflict(
+            first.attribute,
+            self.entry_bound(low_entry.row, low_entry.attribute, EntrySide.LOW),
+            self.entry_bound(high_entry.row, high_entry.attribute, EntrySide.HIGH),
+        )
+
+    def _low_high_conflict(
+        self, attribute: int, low_bound: float, high_bound: float
+    ) -> bool:
+        """Unsatisfiability of ``s ∧ (x < low_bound) ∧ (x > high_bound)``."""
+        s_low = float(self.subscription.lows[attribute])
+        s_high = float(self.subscription.highs[attribute])
+        if self._discrete[attribute]:
+            lowest = max(high_bound + 1.0, s_low)
+            highest = min(low_bound - 1.0, s_high)
+            return math.floor(highest) < math.ceil(lowest)
+        lowest = max(high_bound, s_low)
+        highest = min(low_bound, s_high)
+        return not highest > lowest
+
+    def conflict_free_counts(self, rows: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-row count of conflict-free entries (the paper's ``fc_i``).
+
+        A defined entry is *conflict free* when it conflicts with no defined
+        entry of any other row (Proposition 3).  ``rows`` restricts the
+        computation to a subset of rows (used by MCS after removals); the
+        returned array is indexed positionally by that subset.
+        """
+        active = np.array(
+            list(range(self.k)) if rows is None else list(rows), dtype=int
+        )
+        n = len(active)
+        counts = np.zeros(n, dtype=int)
+        if n == 0:
+            return counts
+
+        s_lows = self.subscription.lows
+        s_highs = self.subscription.highs
+
+        for attribute in range(self.m):
+            low_mask = self.defined_low[active, attribute]
+            high_mask = self.defined_high[active, attribute]
+            low_positions = np.nonzero(low_mask)[0]
+            high_positions = np.nonzero(high_mask)[0]
+
+            low_bounds = self.candidate_lows[active[low_positions], attribute]
+            high_bounds = self.candidate_highs[active[high_positions], attribute]
+
+            # A LOW entry (negation ``x < A``) conflicts with a HIGH entry
+            # (negation ``x > B``) of another row iff ``s`` has no point
+            # strictly between ``B`` and ``A``.  The condition is monotone in
+            # ``B`` (larger ``B`` => more likely conflict) so only the largest
+            # *other-row* ``B`` matters — and symmetrically only the smallest
+            # other-row ``A`` matters for HIGH entries.
+            discrete = bool(self._discrete[attribute])
+            s_low = float(s_lows[attribute])
+            s_high = float(s_highs[attribute])
+
+            if low_positions.size:
+                other_max_b = self._exclusive_extreme(
+                    high_positions, high_bounds, low_positions, use_max=True
+                )
+                a = low_bounds
+                has_other = np.isfinite(other_max_b)
+                if discrete:
+                    highest = np.floor(np.minimum(a - 1.0, s_high))
+                    lowest = np.ceil(np.maximum(other_max_b + 1.0, s_low))
+                    conflict = has_other & (highest < lowest)
+                else:
+                    highest = np.minimum(a, s_high)
+                    lowest = np.maximum(other_max_b, s_low)
+                    conflict = has_other & ~(highest > lowest)
+                np.add.at(counts, low_positions, (~conflict).astype(int))
+
+            if high_positions.size:
+                other_min_a = self._exclusive_extreme(
+                    low_positions, low_bounds, high_positions, use_max=False
+                )
+                b = high_bounds
+                has_other = np.isfinite(other_min_a)
+                if discrete:
+                    highest = np.floor(np.minimum(other_min_a - 1.0, s_high))
+                    lowest = np.ceil(np.maximum(b + 1.0, s_low))
+                    conflict = has_other & (highest < lowest)
+                else:
+                    highest = np.minimum(other_min_a, s_high)
+                    lowest = np.maximum(b, s_low)
+                    conflict = has_other & ~(highest > lowest)
+                np.add.at(counts, high_positions, (~conflict).astype(int))
+
+        return counts
+
+    @staticmethod
+    def _exclusive_extreme(
+        source_positions: np.ndarray,
+        source_bounds: np.ndarray,
+        target_positions: np.ndarray,
+        use_max: bool,
+    ) -> np.ndarray:
+        """Per-target extreme of the source bounds excluding the same row.
+
+        For each target position, return the max (or min) of the source
+        bounds over source entries belonging to *other* rows; ``±inf``
+        signals "no other-row source entry exists".
+        """
+        fill = -math.inf if use_max else math.inf
+        result = np.full(len(target_positions), fill, dtype=float)
+        if source_positions.size == 0:
+            return result
+        order = np.argsort(source_bounds)
+        if use_max:
+            best_pos = source_positions[order[-1]]
+            best = source_bounds[order[-1]]
+            second = source_bounds[order[-2]] if source_positions.size > 1 else fill
+        else:
+            best_pos = source_positions[order[0]]
+            best = source_bounds[order[0]]
+            second = source_bounds[order[1]] if source_positions.size > 1 else fill
+        result[:] = best
+        same = target_positions == best_pos
+        result[same] = second
+        return result
+
+    # ------------------------------------------------------------------
+    # rho_w support (Algorithm 2)
+    # ------------------------------------------------------------------
+    def minimum_gap_measures(
+        self, rows: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Per-attribute minimum uncovered slice measure (Algorithm 2).
+
+        For each attribute the estimator considers, over every candidate
+        row, the measure of the slice of ``s`` left uncovered below the
+        candidate's lower bound and above its upper bound, taking the
+        minimum together with the full extent of ``s`` on that attribute.
+        The product over attributes approximates ``I(sw)``, the size of the
+        smallest polyhedron witness.
+        """
+        active = list(range(self.k)) if rows is None else list(rows)
+        gaps = np.empty(self.m, dtype=float)
+        for attribute in range(self.m):
+            domain = self.schema.domain(attribute)
+            s_interval = self.subscription.interval(attribute)
+            minimum = domain.measure(s_interval)
+            for row in active:
+                if self.defined_low[row, attribute]:
+                    slice_measure = domain.measure(
+                        self.entry_region(row, attribute, EntrySide.LOW)
+                    )
+                    minimum = min(minimum, max(slice_measure, domain.gap_measure(1e-12)))
+                if self.defined_high[row, attribute]:
+                    slice_measure = domain.measure(
+                        self.entry_region(row, attribute, EntrySide.HIGH)
+                    )
+                    minimum = min(minimum, max(slice_measure, domain.gap_measure(1e-12)))
+            gaps[attribute] = minimum
+        return gaps
+
+    # ------------------------------------------------------------------
+    # Restriction (used by MCS)
+    # ------------------------------------------------------------------
+    def restrict(self, rows: Sequence[int]) -> "ConflictTable":
+        """Return a new conflict table containing only ``rows``."""
+        return ConflictTable(
+            self.subscription, [self.candidates[row] for row in rows]
+        )
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def render(self, max_rows: int = 20) -> str:
+        """ASCII rendering of the table (mirrors Table 5 of the paper)."""
+        names = self.schema.names
+        header = ["s_i"]
+        for name in names:
+            header.append(f"{name}<low")
+            header.append(f"{name}>high")
+        lines = ["\t".join(header)]
+        for row in range(min(self.k, max_rows)):
+            cells = [self.candidates[row].id]
+            for attribute in range(self.m):
+                if self.defined_low[row, attribute]:
+                    cells.append(
+                        f"{names[attribute]}<{self.candidate_lows[row, attribute]:g}"
+                    )
+                else:
+                    cells.append("undefined")
+                if self.defined_high[row, attribute]:
+                    cells.append(
+                        f"{names[attribute]}>{self.candidate_highs[row, attribute]:g}"
+                    )
+                else:
+                    cells.append("undefined")
+            lines.append("\t".join(cells))
+        if self.k > max_rows:
+            lines.append(f"... ({self.k - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ConflictTable(k={self.k}, m={self.m})"

@@ -1,0 +1,166 @@
+"""Subscription merging — the complementary reduction technique.
+
+Besides covering, the related work the paper positions itself against
+(Crespo et al., Li et al.) reduces subscription sets by *merging* similar
+subscriptions into a single, broader one.  Merging trades precision for
+state: the merged subscription (the bounding box of its inputs) may accept
+publications that none of the inputs accepts, producing *false positives*
+(unrequested publications), whereas covering-based reduction — the paper's
+approach — never does.
+
+This module implements the classical greedy pair-merging strategy so the
+trade-off can be quantified next to the probabilistic group-subsumption
+approach:
+
+* :func:`merge_pair` — bounding-box merge of two subscriptions with the
+  exact measure of the over-approximated volume;
+* :func:`perfect_merge_candidates` — pairs whose merge adds *no* false
+  volume (adjacent boxes differing in one attribute);
+* :class:`GreedyMerger` — maintains a subscription set under a configurable
+  false-volume budget, merging the cheapest pairs first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exact import uncovered_region
+from repro.model.subscriptions import Subscription
+
+__all__ = [
+    "MergeResult",
+    "merge_pair",
+    "false_positive_volume",
+    "perfect_merge_candidates",
+    "GreedyMerger",
+]
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of merging two subscriptions.
+
+    Attributes
+    ----------
+    merged:
+        The bounding box of the two inputs.
+    false_volume:
+        Measure of the region accepted by ``merged`` but by neither input
+        (the source of false positives).
+    relative_overhead:
+        ``false_volume`` divided by the measure of the merged box (0 for a
+        perfect merge, approaching 1 for a useless one).
+    """
+
+    merged: Subscription
+    false_volume: float
+    relative_overhead: float
+
+    @property
+    def is_perfect(self) -> bool:
+        """Whether the merge introduces no false positives at all."""
+        return self.false_volume == 0.0
+
+
+def false_positive_volume(
+    merged: Subscription, parts: Sequence[Subscription]
+) -> float:
+    """Measure of ``merged`` minus the union of ``parts`` (exact)."""
+    return float(sum(piece.size() for piece in uncovered_region(merged, parts)))
+
+
+def merge_pair(first: Subscription, second: Subscription) -> MergeResult:
+    """Merge two subscriptions into their bounding box.
+
+    The false volume is computed exactly by box subtraction, so the caller
+    can decide whether the state saving is worth the imprecision.
+    """
+    merged = first.union_hull(second)
+    false_volume = false_positive_volume(merged, [first, second])
+    size = merged.size()
+    overhead = false_volume / size if size > 0 else 0.0
+    return MergeResult(
+        merged=merged, false_volume=false_volume, relative_overhead=overhead
+    )
+
+
+def perfect_merge_candidates(
+    subscriptions: Sequence[Subscription],
+) -> List[Tuple[int, int]]:
+    """Index pairs whose bounding-box merge adds no false volume.
+
+    These are the "at most one mismatching predicate" merges of the modified
+    BDD approach referenced in Section 7: boxes identical on all attributes
+    except one, where their ranges touch or overlap.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for i, j in itertools.combinations(range(len(subscriptions)), 2):
+        if merge_pair(subscriptions[i], subscriptions[j]).is_perfect:
+            pairs.append((i, j))
+    return pairs
+
+
+class GreedyMerger:
+    """Greedy pair merging under a false-volume budget.
+
+    Parameters
+    ----------
+    max_relative_overhead:
+        Maximum acceptable ``false_volume / merged_size`` for a single
+        merge step (0 allows only perfect merges).
+    target_size:
+        Stop merging once the set is no larger than this (``None`` merges
+        as long as acceptable pairs exist).
+    """
+
+    def __init__(
+        self,
+        max_relative_overhead: float = 0.0,
+        target_size: Optional[int] = None,
+    ):
+        if max_relative_overhead < 0:
+            raise ValueError("max_relative_overhead must be non-negative")
+        self.max_relative_overhead = max_relative_overhead
+        self.target_size = target_size
+        #: total false volume introduced by the merges performed
+        self.total_false_volume = 0.0
+        #: number of merge steps performed
+        self.merges_performed = 0
+
+    def reduce(self, subscriptions: Iterable[Subscription]) -> List[Subscription]:
+        """Merge the set greedily and return the reduced subscription list.
+
+        At every step the pair with the smallest relative overhead is
+        merged, provided it stays within the configured budget; ties are
+        broken toward pairs producing the smallest merged box.
+        """
+        working: List[Subscription] = list(subscriptions)
+        while len(working) > 1:
+            if self.target_size is not None and len(working) <= self.target_size:
+                break
+            best: Optional[Tuple[float, float, int, int, MergeResult]] = None
+            for i, j in itertools.combinations(range(len(working)), 2):
+                outcome = merge_pair(working[i], working[j])
+                if outcome.relative_overhead > self.max_relative_overhead:
+                    continue
+                key = (outcome.relative_overhead, outcome.merged.size())
+                if best is None or key < (best[0], best[1]):
+                    best = (key[0], key[1], i, j, outcome)
+            if best is None:
+                break
+            _, _, i, j, outcome = best
+            self.total_false_volume += outcome.false_volume
+            self.merges_performed += 1
+            # Replace the two inputs by their merge (order preserved).
+            merged_list = [
+                subscription
+                for index, subscription in enumerate(working)
+                if index not in (i, j)
+            ]
+            merged_list.append(outcome.merged)
+            working = merged_list
+        return working

@@ -1,0 +1,214 @@
+"""Random Simple Predicates Cover (Algorithm 1).
+
+RSPC is the Monte Carlo core of the paper: it repeatedly guesses a uniform
+random point inside the tested subscription ``s`` and checks whether the
+point is a *point witness*, i.e. lies outside every subscription of the
+candidate set ``S``.  Finding a witness proves non-coverage (a definite
+NO); exhausting the ``d`` allowed guesses yields a probabilistic YES whose
+error probability is bounded by ``(1 - rho_w)^d`` (Proposition 1 / Eq. 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.error_model import effective_error, required_iterations
+from repro.core.witness import point_is_witness
+from repro.model.subscriptions import Subscription
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["RSPCOutcome", "RSPCResult", "run_rspc"]
+
+
+class RSPCOutcome(str, Enum):
+    """Verdict of one RSPC execution."""
+
+    #: a point witness was found — ``s`` is definitely not covered
+    WITNESS_FOUND = "witness_found"
+    #: all guesses failed — ``s`` is covered with probability ``>= 1 - error``
+    EXHAUSTED = "exhausted"
+    #: there was nothing to guess against (empty candidate set)
+    NO_CANDIDATES = "no_candidates"
+
+
+@dataclass
+class RSPCResult:
+    """Outcome and accounting of an RSPC execution.
+
+    Attributes
+    ----------
+    outcome:
+        Which of the three verdicts was reached.
+    covered:
+        Interpretation of the outcome as a cover answer.
+    iterations_performed:
+        Number of random guesses actually executed (``<= iterations_allowed``).
+    iterations_allowed:
+        The guess budget used for this execution (the capped ``d``).
+    theoretical_iterations:
+        The uncapped ``d`` implied by the error bound, possibly ``inf``.
+    witness_point:
+        The discovered point witness, when ``outcome`` is ``WITNESS_FOUND``.
+    rho_w:
+        The point-witness probability bound the budget was derived from.
+    error_bound:
+        Residual error probability of a YES verdict after the performed
+        guesses, ``(1 - rho_w)^iterations_performed``.
+    truncated:
+        True when the budget was capped below the theoretical ``d`` so the
+        achieved error bound is weaker than requested.
+    """
+
+    outcome: RSPCOutcome
+    covered: bool
+    iterations_performed: int
+    iterations_allowed: int
+    theoretical_iterations: float
+    witness_point: Optional[np.ndarray]
+    rho_w: float
+    error_bound: float
+    truncated: bool
+
+
+#: how many random guesses are generated and tested per vectorised batch
+_BATCH_SIZE = 256
+
+
+def _sample_points(
+    subscription: Subscription, rng: np.random.Generator, count: int
+) -> np.ndarray:
+    """Sample ``count`` uniform points inside ``subscription`` (vectorised).
+
+    Equivalent to calling :meth:`Subscription.sample_point` ``count`` times
+    but drawing whole columns at once, which keeps RSPC fast when the trial
+    budget is large.
+    """
+    schema = subscription.schema
+    points = np.empty((count, schema.m), dtype=float)
+    for attribute in range(schema.m):
+        low = float(subscription.lows[attribute])
+        high = float(subscription.highs[attribute])
+        if schema.domain(attribute).is_discrete:
+            points[:, attribute] = rng.integers(
+                int(low), int(high) + 1, size=count
+            ).astype(float)
+        elif high > low:
+            points[:, attribute] = rng.uniform(low, high, size=count)
+        else:
+            points[:, attribute] = low
+    return points
+
+
+def _guess_witness(
+    subscription: Subscription,
+    candidates: Sequence[Subscription],
+    rng: np.random.Generator,
+    allowed: int,
+) -> tuple:
+    """Vectorised Algorithm 1 loop: ``(witness_or_None, guesses_used)``."""
+    cand_lows = np.vstack([candidate.lows for candidate in candidates])
+    cand_highs = np.vstack([candidate.highs for candidate in candidates])
+    performed = 0
+    while performed < allowed:
+        batch = min(_BATCH_SIZE, allowed - performed)
+        points = _sample_points(subscription, rng, batch)
+        inside = (points[:, np.newaxis, :] >= cand_lows[np.newaxis, :, :]) & (
+            points[:, np.newaxis, :] <= cand_highs[np.newaxis, :, :]
+        )
+        covered = inside.all(axis=2).any(axis=1)
+        misses = np.nonzero(~covered)[0]
+        if misses.size:
+            first = int(misses[0])
+            return points[first], performed + first + 1
+        performed += batch
+    return None, performed
+
+
+def run_rspc(
+    subscription: Subscription,
+    candidates: Sequence[Subscription],
+    rho_w: float,
+    delta: float = 1e-6,
+    rng: RandomSource = None,
+    max_iterations: Optional[int] = None,
+) -> RSPCResult:
+    """Execute Algorithm 1 against ``candidates``.
+
+    Parameters
+    ----------
+    subscription:
+        The subscription ``s`` whose coverage is being tested.
+    candidates:
+        The candidate set ``S`` (typically already reduced by MCS).
+    rho_w:
+        Lower bound on the point-witness probability (from Algorithm 2);
+        determines the number of trials for the requested ``delta``.
+    delta:
+        Acceptable probability of a false "covered" verdict (Eq. 1).
+    rng:
+        Seed or generator for the random guesses.
+    max_iterations:
+        Hard cap on the number of guesses.  The theoretical ``d`` can be
+        astronomically large (the paper reports values up to ``10^60``);
+        capping keeps the checker practical, at the cost of a weaker error
+        bound which is reported through ``truncated``/``error_bound``.
+
+    Returns
+    -------
+    RSPCResult
+        The verdict plus all accounting needed by the experiments.
+    """
+    generator = ensure_rng(rng)
+
+    if not candidates:
+        return RSPCResult(
+            outcome=RSPCOutcome.NO_CANDIDATES,
+            covered=False,
+            iterations_performed=0,
+            iterations_allowed=0,
+            theoretical_iterations=0.0,
+            witness_point=None,
+            rho_w=1.0,
+            error_bound=0.0,
+            truncated=False,
+        )
+
+    theoretical = required_iterations(delta, rho_w)
+    if max_iterations is None:
+        allowed = int(theoretical) if math.isfinite(theoretical) else 2**31 - 1
+    else:
+        allowed = int(min(theoretical, float(max_iterations)))
+    allowed = max(allowed, 1)
+    truncated = allowed < theoretical
+
+    witness, performed = _guess_witness(subscription, candidates, generator, allowed)
+
+    if witness is not None:
+        return RSPCResult(
+            outcome=RSPCOutcome.WITNESS_FOUND,
+            covered=False,
+            iterations_performed=performed,
+            iterations_allowed=allowed,
+            theoretical_iterations=theoretical,
+            witness_point=witness,
+            rho_w=rho_w,
+            error_bound=0.0,
+            truncated=truncated,
+        )
+
+    return RSPCResult(
+        outcome=RSPCOutcome.EXHAUSTED,
+        covered=True,
+        iterations_performed=performed,
+        iterations_allowed=allowed,
+        theoretical_iterations=theoretical,
+        witness_point=None,
+        rho_w=rho_w,
+        error_bound=effective_error(rho_w, performed),
+        truncated=truncated,
+    )

@@ -1,0 +1,249 @@
+"""Subscription-set maintenance under a covering policy.
+
+A broker (or a standalone matching server) keeps two subscription pools:
+
+* the **active** set — subscriptions that are *not* covered by the rest and
+  therefore must be forwarded to neighbours and matched first;
+* the **covered** set — subscriptions declared redundant for forwarding but
+  still needed locally for notification delivery (Algorithm 5 falls back to
+  them only when an active subscription matched).
+
+:class:`SubscriptionStore` maintains the two pools incrementally under one
+of three policies:
+
+``none``
+    Every subscription stays active (subscription flooding).
+``pairwise``
+    The classical baseline — a subscription is demoted only when a single
+    existing subscription covers it.
+``group``
+    The paper's contribution — a subscription is demoted when the
+    probabilistic group-subsumption checker declares it covered by the
+    *union* of the active set.
+
+The store also records which subscription(s) covered each demoted entry,
+which the matching engine's multi-level optimisation and the unsubscription
+path (promote covered subscriptions when their coverer leaves) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pairwise import PairwiseCoverageChecker
+from repro.core.results import SubsumptionResult
+from repro.core.subsumption import SubsumptionChecker
+from repro.model.subscriptions import Subscription
+
+__all__ = ["CoveringPolicyName", "StoreDecision", "SubscriptionStore"]
+
+
+class CoveringPolicyName(str, Enum):
+    """Subscription-reduction policy of a store/broker."""
+
+    NONE = "none"
+    PAIRWISE = "pairwise"
+    GROUP = "group"
+
+
+@dataclass
+class StoreDecision:
+    """What happened when a subscription was added to the store.
+
+    Attributes
+    ----------
+    subscription:
+        The subscription that was added.
+    forwarded:
+        Whether the subscription joined the active set (and should be
+        propagated to neighbours).
+    covered_by:
+        Identifiers of the subscriptions that cover it (for pair-wise: the
+        single coverer; for group: the active set snapshot that covered it).
+    demoted:
+        Active subscriptions demoted to covered because the newcomer covers
+        them pair-wise.
+    result:
+        The full group-subsumption result when the group policy ran.
+    """
+
+    subscription: Subscription
+    forwarded: bool
+    covered_by: Tuple[str, ...] = ()
+    demoted: Tuple[Subscription, ...] = ()
+    result: Optional[SubsumptionResult] = None
+
+
+class SubscriptionStore:
+    """Active/covered subscription pools under a covering policy."""
+
+    def __init__(
+        self,
+        policy: CoveringPolicyName = CoveringPolicyName.GROUP,
+        checker: Optional[SubsumptionChecker] = None,
+    ):
+        self.policy = CoveringPolicyName(policy)
+        self.checker = checker or SubsumptionChecker()
+        self._active: List[Subscription] = []
+        self._covered: List[Subscription] = []
+        #: covered-subscription id -> ids of the subscriptions covering it
+        self.cover_links: Dict[str, Tuple[str, ...]] = {}
+        #: cumulative statistics for the experiments
+        self.stats: Dict[str, float] = {
+            "added": 0,
+            "forwarded": 0,
+            "suppressed": 0,
+            "demoted": 0,
+            "rspc_iterations": 0,
+            "removed": 0,
+            "promoted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> Tuple[Subscription, ...]:
+        """Subscriptions currently active (to be forwarded/matched first)."""
+        return tuple(self._active)
+
+    @property
+    def covered(self) -> Tuple[Subscription, ...]:
+        """Subscriptions declared redundant for forwarding."""
+        return tuple(self._covered)
+
+    @property
+    def active_count(self) -> int:
+        """Size of the active set."""
+        return len(self._active)
+
+    @property
+    def total_count(self) -> int:
+        """Total number of stored subscriptions."""
+        return len(self._active) + len(self._covered)
+
+    def find(self, subscription_id: str) -> Optional[Subscription]:
+        """Look up a stored subscription by identifier."""
+        for bucket in (self._active, self._covered):
+            for subscription in bucket:
+                if subscription.id == subscription_id:
+                    return subscription
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> StoreDecision:
+        """Insert a subscription and decide whether it must be forwarded."""
+        self.stats["added"] += 1
+
+        if self.policy is CoveringPolicyName.NONE:
+            self._active.append(subscription)
+            self.stats["forwarded"] += 1
+            return StoreDecision(subscription, forwarded=True)
+
+        if self.policy is CoveringPolicyName.PAIRWISE:
+            check = PairwiseCoverageChecker.check(subscription, self._active)
+            if check.covered:
+                self._covered.append(subscription)
+                self.cover_links[subscription.id] = (check.covering.id,)
+                self.stats["suppressed"] += 1
+                return StoreDecision(
+                    subscription,
+                    forwarded=False,
+                    covered_by=(check.covering.id,),
+                )
+            demoted = self._demote_covered_by(subscription)
+            self._active.append(subscription)
+            self.stats["forwarded"] += 1
+            return StoreDecision(subscription, forwarded=True, demoted=demoted)
+
+        # Group policy: probabilistic union coverage against the active set.
+        result = self.checker.check(subscription, self._active)
+        self.stats["rspc_iterations"] += result.iterations_performed
+        if result.covered:
+            self._covered.append(subscription)
+            coverers = tuple(existing.id for existing in self._active)
+            if result.covering_row is not None:
+                coverers = (self._active[result.covering_row].id,)
+            self.cover_links[subscription.id] = coverers
+            self.stats["suppressed"] += 1
+            return StoreDecision(
+                subscription,
+                forwarded=False,
+                covered_by=coverers,
+                result=result,
+            )
+        demoted = self._demote_covered_by(subscription)
+        self._active.append(subscription)
+        self.stats["forwarded"] += 1
+        return StoreDecision(
+            subscription, forwarded=True, demoted=demoted, result=result
+        )
+
+    def _demote_covered_by(
+        self, newcomer: Subscription
+    ) -> Tuple[Subscription, ...]:
+        """Demote active subscriptions pair-wise covered by ``newcomer``."""
+        demoted: List[Subscription] = []
+        remaining: List[Subscription] = []
+        for existing in self._active:
+            if newcomer.covers(existing):
+                demoted.append(existing)
+                self._covered.append(existing)
+                self.cover_links[existing.id] = (newcomer.id,)
+            else:
+                remaining.append(existing)
+        self._active = remaining
+        self.stats["demoted"] += len(demoted)
+        return tuple(demoted)
+
+    def remove(self, subscription_id: str) -> Tuple[Subscription, ...]:
+        """Remove a subscription (unsubscription).
+
+        When an *active* subscription leaves, covered subscriptions whose
+        cover links referenced it are re-inserted through :meth:`add` so
+        that those which are no longer covered get promoted (and would be
+        forwarded by the owning broker) — the promotion mechanism described
+        in Section 5.  Returns the promoted subscriptions.
+        """
+        removed_active = False
+        for index, subscription in enumerate(self._active):
+            if subscription.id == subscription_id:
+                del self._active[index]
+                removed_active = True
+                break
+        if not removed_active:
+            for index, subscription in enumerate(self._covered):
+                if subscription.id == subscription_id:
+                    del self._covered[index]
+                    self.cover_links.pop(subscription_id, None)
+                    self.stats["removed"] += 1
+                    return ()
+            return ()
+
+        self.stats["removed"] += 1
+        # Promote covered subscriptions that referenced the departed coverer.
+        orphans = [
+            subscription
+            for subscription in self._covered
+            if subscription_id in self.cover_links.get(subscription.id, ())
+        ]
+        promoted: List[Subscription] = []
+        for orphan in orphans:
+            self._covered.remove(orphan)
+            self.cover_links.pop(orphan.id, None)
+            decision = self.add(orphan)
+            self.stats["added"] -= 1  # re-insertion is not a new arrival
+            if decision.forwarded:
+                promoted.append(orphan)
+                self.stats["promoted"] += 1
+        return tuple(promoted)
+
+    def __len__(self) -> int:
+        return self.total_count
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return isinstance(subscription_id, str) and self.find(subscription_id) is not None

@@ -1,0 +1,230 @@
+"""The full probabilistic subsumption pipeline.
+
+:class:`SubsumptionChecker` wires the paper's building blocks together in
+the order of Algorithm 4:
+
+1. build the conflict table (``O(m·k)``);
+2. fast deterministic decisions — pair-wise cover (Corollary 1) and the
+   sorted-row polyhedron-witness condition (Corollary 3);
+3. the MCS reduction (Algorithm 3); an empty reduced set is a definite NO;
+4. the ``rho_w`` estimate (Algorithm 2) and the trial budget ``d`` for the
+   requested error probability ``delta`` (Eq. 1);
+5. RSPC (Algorithm 1) on the reduced set — a definite NO when a point
+   witness is found, otherwise a probabilistic YES.
+
+Every stage can be toggled so the experiments can quantify its individual
+contribution (the ±MCS curves of Figures 7 and 9, the fast-decision
+ablation of the micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.conflict_table import ConflictTable
+from repro.core.decisions import (
+    FastDecisionKind,
+    detect_pairwise_cover,
+    detect_polyhedron_witness,
+)
+from repro.core.error_model import required_iterations
+from repro.core.mcs import MCSResult, minimized_cover_set
+from repro.core.results import Answer, DecisionMethod, SubsumptionResult
+from repro.core.rspc import RSPCOutcome, run_rspc
+from repro.core.witness import estimate_smallest_witness
+from repro.model.subscriptions import Subscription
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_probability
+
+__all__ = ["SubsumptionChecker"]
+
+
+@dataclass
+class SubsumptionChecker:
+    """Configurable group-subsumption checker.
+
+    Parameters
+    ----------
+    delta:
+        Target probability of a false "covered" verdict (Eq. 1).  The
+        paper's experiments use ``1e-3`` … ``1e-10``.
+    max_iterations:
+        Hard cap on RSPC guesses per check.  The theoretical ``d`` can be
+        astronomically large for tiny ``delta``; the cap keeps the checker
+        practical and is reported through ``SubsumptionResult.truncated``.
+    use_mcs:
+        Whether to run the Minimized Cover Set reduction (Algorithm 3).
+    use_fast_decisions:
+        Whether to apply the deterministic short-circuits of Algorithm 4.
+    rng:
+        Seed or generator for the random guesses; each :meth:`check` call
+        draws from this stream, so a seeded checker is fully reproducible.
+    """
+
+    delta: float = 1e-6
+    max_iterations: int = 10_000
+    use_mcs: bool = True
+    use_fast_decisions: bool = True
+    rng: RandomSource = None
+
+    def __post_init__(self) -> None:
+        require_probability(self.delta, "delta")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must be strictly between 0 and 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self._rng = ensure_rng(self.rng)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        subscription: Subscription,
+        candidates: Sequence[Subscription],
+    ) -> SubsumptionResult:
+        """Decide whether ``subscription`` is covered by ``candidates``.
+
+        Returns a :class:`SubsumptionResult` with the verdict, the stage
+        that produced it and the cost accounting used by the experiments.
+        """
+        candidates = list(candidates)
+        k = len(candidates)
+
+        if k == 0:
+            return SubsumptionResult(
+                answer=Answer.NOT_COVERED,
+                method=DecisionMethod.EMPTY_CANDIDATE_SET,
+                original_set_size=0,
+                reduced_set_size=0,
+            )
+
+        table = ConflictTable(subscription, candidates)
+
+        # --- Stage 2: fast deterministic decisions -------------------
+        if self.use_fast_decisions:
+            pairwise = detect_pairwise_cover(table)
+            if pairwise is not None:
+                return SubsumptionResult(
+                    answer=Answer.COVERED,
+                    method=DecisionMethod.PAIRWISE_COVER,
+                    original_set_size=k,
+                    reduced_set_size=k,
+                    covering_row=pairwise.covering_row,
+                )
+            witness = detect_polyhedron_witness(table)
+            if witness is not None:
+                return SubsumptionResult(
+                    answer=Answer.NOT_COVERED,
+                    method=DecisionMethod.POLYHEDRON_WITNESS,
+                    original_set_size=k,
+                    reduced_set_size=k,
+                )
+
+        # --- Stage 3: MCS reduction -----------------------------------
+        if self.use_mcs:
+            reduction = minimized_cover_set(table)
+            reduced_rows = list(reduction.kept_rows)
+            reduced_candidates = list(reduction.kept)
+            if not reduced_candidates:
+                return SubsumptionResult(
+                    answer=Answer.NOT_COVERED,
+                    method=DecisionMethod.EMPTY_MCS,
+                    original_set_size=k,
+                    reduced_set_size=0,
+                    details={"mcs_passes": reduction.iterations},
+                )
+        else:
+            reduction = None
+            reduced_rows = list(range(k))
+            reduced_candidates = candidates
+
+        # --- Stage 4: error model --------------------------------------
+        estimate = estimate_smallest_witness(table, reduced_rows)
+        rho_w = estimate.rho_w
+        theoretical = (
+            required_iterations(self.delta, rho_w) if rho_w > 0 else float("inf")
+        )
+
+        # --- Stage 5: RSPC ---------------------------------------------
+        rspc = run_rspc(
+            subscription,
+            reduced_candidates,
+            rho_w=rho_w,
+            delta=self.delta,
+            rng=self._rng,
+            max_iterations=self.max_iterations,
+        )
+
+        details = {
+            "witness_estimate": estimate,
+            "rspc_outcome": rspc.outcome.value,
+        }
+        if reduction is not None:
+            details["mcs_passes"] = reduction.iterations
+
+        if rspc.outcome is RSPCOutcome.WITNESS_FOUND:
+            return SubsumptionResult(
+                answer=Answer.NOT_COVERED,
+                method=DecisionMethod.POINT_WITNESS,
+                original_set_size=k,
+                reduced_set_size=len(reduced_candidates),
+                rho_w=rho_w,
+                theoretical_iterations=theoretical,
+                iterations_performed=rspc.iterations_performed,
+                witness_point=rspc.witness_point,
+                truncated=rspc.truncated,
+                details=details,
+            )
+
+        return SubsumptionResult(
+            answer=Answer.PROBABLY_COVERED,
+            method=DecisionMethod.RSPC_EXHAUSTED,
+            original_set_size=k,
+            reduced_set_size=len(reduced_candidates),
+            rho_w=rho_w,
+            theoretical_iterations=theoretical,
+            iterations_performed=rspc.iterations_performed,
+            error_bound=rspc.error_bound,
+            truncated=rspc.truncated,
+            details=details,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def is_covered(
+        self,
+        subscription: Subscription,
+        candidates: Sequence[Subscription],
+    ) -> bool:
+        """Boolean verdict (treating "probably covered" as covered)."""
+        return self.check(subscription, candidates).covered
+
+    def theoretical_d(
+        self,
+        subscription: Subscription,
+        candidates: Sequence[Subscription],
+        apply_mcs: Optional[bool] = None,
+    ) -> float:
+        """The paper's ``d`` for this instance without running RSPC.
+
+        Used by the Figure 7/9 experiments which plot the theoretical trial
+        budget with and without the MCS reduction.
+        """
+        candidates = list(candidates)
+        if not candidates:
+            return 0.0
+        table = ConflictTable(subscription, candidates)
+        use_mcs = self.use_mcs if apply_mcs is None else apply_mcs
+        rows: Optional[Sequence[int]] = None
+        if use_mcs:
+            reduction = minimized_cover_set(table)
+            rows = list(reduction.kept_rows)
+            if not rows:
+                return 0.0
+        estimate = estimate_smallest_witness(table, rows)
+        if estimate.rho_w <= 0:
+            return float("inf")
+        return required_iterations(self.delta, estimate.rho_w)

@@ -1,0 +1,127 @@
+"""Command-line interface for the experiment harness.
+
+Regenerates the paper's figures from the shell::
+
+    python -m repro.experiments fig6 fig7            # selected figures
+    python -m repro.experiments all                  # everything
+    python -m repro.experiments fig13 --paper        # paper-scale parameters
+    python -m repro.experiments fig11 --csv out/     # also dump CSV files
+
+Every figure is printed as an ASCII table (the same series the paper
+plots); ``--csv`` additionally writes one CSV file per figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.config import (
+    ChainConfig,
+    ComparisonConfig,
+    ExtremeNonCoverConfig,
+    NonCoverConfig,
+    RedundantCoveringConfig,
+)
+from repro.experiments.fig_chain import run_chain_delivery
+from repro.experiments.fig_comparison import run_comparison
+from repro.experiments.fig_extreme import run_extreme_non_cover
+from repro.experiments.fig_noncover import run_non_cover
+from repro.experiments.fig_redundant import run_redundant_covering
+from repro.experiments.series import ResultTable
+
+__all__ = ["main", "available_targets"]
+
+#: experiment id -> (runner, config class, produced figure keys)
+_RUNNERS = {
+    "redundant": (run_redundant_covering, RedundantCoveringConfig, ("fig6", "fig7")),
+    "noncover": (run_non_cover, NonCoverConfig, ("fig8", "fig9", "fig10")),
+    "extreme": (run_extreme_non_cover, ExtremeNonCoverConfig, ("fig11", "fig12")),
+    "comparison": (run_comparison, ComparisonConfig, ("fig13", "fig14")),
+    "chain": (run_chain_delivery, ChainConfig, ("eq2",)),
+}
+
+
+def available_targets() -> List[str]:
+    """Every figure/experiment name the CLI accepts."""
+    targets = ["all"]
+    for name, (_, _, figures) in _RUNNERS.items():
+        targets.append(name)
+        targets.extend(figures)
+    return targets
+
+
+def _experiments_for(targets: Iterable[str]) -> Dict[str, tuple]:
+    wanted = set(targets)
+    if "all" in wanted:
+        return dict(_RUNNERS)
+    selected = {}
+    for name, entry in _RUNNERS.items():
+        _, _, figures = entry
+        if name in wanted or wanted.intersection(figures):
+            selected[name] = entry
+    return selected
+
+
+def _write_csv(directory: str, key: str, table: ResultTable) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{key}.csv")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table.to_csv())
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the evaluation figures of the paper.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        choices=available_targets(),
+        help="experiments or figure ids to run (or 'all')",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's full parameters instead of the quick defaults",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIRECTORY",
+        default=None,
+        help="additionally write one CSV file per figure into DIRECTORY",
+    )
+    arguments = parser.parse_args(argv)
+
+    selected = _experiments_for(arguments.targets)
+    if not selected:
+        parser.error("no experiment matches the requested targets")
+
+    wanted_figures = set(arguments.targets)
+    exit_code = 0
+    for name, (runner, config_class, figures) in selected.items():
+        config = config_class.paper() if arguments.paper else config_class()
+        print(f"== running experiment '{name}' "
+              f"({'paper' if arguments.paper else 'default'} scale) ==")
+        results = runner(config)
+        for key, table in results.items():
+            if "all" not in wanted_figures and name not in wanted_figures:
+                if key not in wanted_figures:
+                    continue
+            print()
+            print(table.render())
+            if arguments.csv:
+                path = _write_csv(arguments.csv, key, table)
+                print(f"[csv written to {path}]")
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Experiment configurations.
+
+Every experiment has two presets:
+
+* the **default** constructor values — scaled down so that the whole
+  benchmark suite finishes in minutes on a laptop;
+* the ``paper()`` class method — the exact parameters reported in
+  Section 6 of the paper (k = 10…310 step 30, m ∈ {10, 15, 20},
+  δ = 10⁻¹⁰, 1000/3000 runs per point, 5000 subscriptions, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "RedundantCoveringConfig",
+    "NonCoverConfig",
+    "ExtremeNonCoverConfig",
+    "ComparisonConfig",
+    "ChainConfig",
+]
+
+#: the k sweep used by Figures 6–10 (10 … 310 in steps of 30)
+PAPER_K_SWEEP: Tuple[int, ...] = tuple(range(10, 311, 30))
+#: the attribute counts used by Figures 6–10 and 13–14
+PAPER_M_VALUES: Tuple[int, ...] = (10, 15, 20)
+
+
+@dataclass
+class RedundantCoveringConfig:
+    """Configuration of the redundant covering experiment (Figures 6–7)."""
+
+    k_values: Sequence[int] = (10, 40, 70, 100, 160, 220, 310)
+    m_values: Sequence[int] = (10, 15, 20)
+    delta: float = 1e-10
+    runs_per_point: int = 10
+    domain_size: int = 10_000
+    covering_fraction: float = 0.2
+    seed: Optional[int] = 20060331
+
+    @classmethod
+    def paper(cls) -> "RedundantCoveringConfig":
+        """The full Section 6.1 parameters."""
+        return cls(
+            k_values=PAPER_K_SWEEP,
+            m_values=PAPER_M_VALUES,
+            delta=1e-10,
+            runs_per_point=1000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "RedundantCoveringConfig":
+        """A tiny preset used by the unit tests."""
+        return cls(k_values=(10, 40), m_values=(5,), runs_per_point=3)
+
+
+@dataclass
+class NonCoverConfig:
+    """Configuration of the non-cover experiment (Figures 8–10)."""
+
+    k_values: Sequence[int] = (10, 40, 70, 100, 160, 220, 310)
+    m_values: Sequence[int] = (10, 15, 20)
+    delta: float = 1e-10
+    runs_per_point: int = 10
+    domain_size: int = 10_000
+    max_iterations: int = 20_000
+    seed: Optional[int] = 20060401
+
+    @classmethod
+    def paper(cls) -> "NonCoverConfig":
+        """The full Section 6.2 parameters."""
+        return cls(
+            k_values=PAPER_K_SWEEP,
+            m_values=PAPER_M_VALUES,
+            delta=1e-10,
+            runs_per_point=1000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "NonCoverConfig":
+        """A tiny preset used by the unit tests."""
+        return cls(k_values=(10, 40), m_values=(5,), runs_per_point=3)
+
+
+@dataclass
+class ExtremeNonCoverConfig:
+    """Configuration of the extreme non-cover experiment (Figures 11–12)."""
+
+    k: int = 50
+    m: int = 5
+    gap_fractions: Sequence[float] = (0.005, 0.015, 0.025, 0.035, 0.045)
+    deltas: Sequence[float] = (1e-3, 1e-6, 1e-10)
+    runs_per_point: int = 100
+    domain_size: int = 10_000
+    max_iterations: int = 50_000
+    seed: Optional[int] = 20060402
+
+    @classmethod
+    def paper(cls) -> "ExtremeNonCoverConfig":
+        """The full Section 6.3 parameters."""
+        return cls(
+            k=50,
+            m=5,
+            gap_fractions=tuple(round(0.005 * step, 4) for step in range(1, 10)),
+            deltas=(1e-3, 1e-6, 1e-10),
+            runs_per_point=3000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExtremeNonCoverConfig":
+        """A tiny preset used by the unit tests."""
+        return cls(
+            k=10, m=3, gap_fractions=(0.01, 0.04), deltas=(1e-3,), runs_per_point=20
+        )
+
+
+@dataclass
+class ComparisonConfig:
+    """Configuration of the pair-wise vs group comparison (Figures 13–14)."""
+
+    total_subscriptions: int = 1_000
+    m_values: Sequence[int] = (10, 15, 20)
+    delta: float = 1e-6
+    domain_size: int = 10_000
+    checkpoint_every: int = 250
+    max_iterations: int = 500
+    attribute_skew: float = 2.0
+    center_skew: float = 1.0
+    width_mean_fraction: float = 0.2
+    width_std_fraction: float = 0.15
+    broad_interest_probability: float = 0.1
+    constrained_fraction: float = 0.6
+    seed: Optional[int] = 20060403
+
+    @classmethod
+    def paper(cls) -> "ComparisonConfig":
+        """The full Section 6.4 parameters (5000 subscriptions)."""
+        return cls(total_subscriptions=5_000, m_values=PAPER_M_VALUES, delta=1e-6)
+
+    @classmethod
+    def smoke(cls) -> "ComparisonConfig":
+        """A tiny preset used by the unit tests."""
+        return cls(total_subscriptions=60, m_values=(5,), checkpoint_every=20)
+
+
+@dataclass
+class ChainConfig:
+    """Configuration of the Eq. 2 broker-chain experiment."""
+
+    chain_lengths: Sequence[int] = (1, 2, 4, 8, 16, 32)
+    rho_values: Sequence[float] = (0.05, 0.1, 0.25, 0.5)
+    rho_w: float = 0.01
+    d: float = 100.0
+    simulation_runs: int = 5_000
+    seed: Optional[int] = 20060404
+
+    @classmethod
+    def paper(cls) -> "ChainConfig":
+        """A denser sweep for the report."""
+        return cls(
+            chain_lengths=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64),
+            rho_values=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75),
+            simulation_runs=20_000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ChainConfig":
+        """A tiny preset used by the unit tests."""
+        return cls(chain_lengths=(1, 4), rho_values=(0.1,), simulation_runs=200)

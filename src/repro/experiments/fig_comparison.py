@@ -1,0 +1,117 @@
+"""Figures 13 and 14 — pair-wise vs group coverage (Section 6.4).
+
+A stream of subscriptions with power-law popularity (Zipf attribute
+selection, Pareto range centres, normal range widths) is fed into two
+subscription stores: one applying the classical pair-wise covering, one
+applying the paper's probabilistic group covering.  The experiment records
+the growth of the *propagated* subscription set — the subscriptions that
+were not declared covered on arrival and would therefore be forwarded and
+stored by brokers — at regular checkpoints:
+
+* **Figure 13** — subscription-set size versus the number of received
+  subscriptions for both policies and every ``m``;
+* **Figure 14** — the ratio of the group-covered set size to the pair-wise
+  set size (the paper's "size ratio").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.store import CoveringPolicyName, SubscriptionStore
+from repro.core.subsumption import SubsumptionChecker
+from repro.experiments.config import ComparisonConfig
+from repro.experiments.series import ResultTable
+from repro.model.schema import Schema
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.workloads.comparison import ComparisonWorkload
+
+__all__ = ["run_comparison"]
+
+
+def run_comparison(config: ComparisonConfig = ComparisonConfig()) -> Dict[str, ResultTable]:
+    """Run the comparison experiment.
+
+    Returns ``{"fig13": …, "fig14": …}``; Figure 13 contains one pair-wise
+    and one group series per ``m``, Figure 14 one ratio series per ``m``.
+    """
+    rng = ensure_rng(config.seed)
+    checkpoints = list(
+        range(
+            config.checkpoint_every,
+            config.total_subscriptions + 1,
+            config.checkpoint_every,
+        )
+    )
+    fig13 = ResultTable(
+        title="Figure 13 — active subscription set size, pair-wise vs group",
+        x_label="subscriptions",
+        notes=f"delta={config.delta:g}",
+    )
+    fig14 = ResultTable(
+        title="Figure 14 — group/pair-wise set size ratio",
+        x_label="subscriptions",
+        notes=f"delta={config.delta:g}",
+    )
+
+    per_m_results: Dict[int, Dict[str, List[float]]] = {}
+    for m in config.m_values:
+        workload_rng, checker_rng = spawn_rngs(rng, 2)
+        schema = Schema.uniform_integer(m, 0, config.domain_size)
+        workload = ComparisonWorkload(
+            schema,
+            attribute_skew=config.attribute_skew,
+            center_skew=config.center_skew,
+            width_mean_fraction=config.width_mean_fraction,
+            width_std_fraction=config.width_std_fraction,
+            broad_interest_probability=config.broad_interest_probability,
+            constrained_fraction=config.constrained_fraction,
+            rng=workload_rng,
+        )
+        pairwise_store = SubscriptionStore(policy=CoveringPolicyName.PAIRWISE)
+        group_store = SubscriptionStore(
+            policy=CoveringPolicyName.GROUP,
+            checker=SubsumptionChecker(
+                delta=config.delta,
+                max_iterations=config.max_iterations,
+                rng=checker_rng,
+            ),
+        )
+        pairwise_sizes: List[float] = []
+        group_sizes: List[float] = []
+        count = 0
+        next_checkpoint = 0
+        for subscription in workload.stream(config.total_subscriptions):
+            pairwise_store.add(subscription)
+            group_store.add(
+                subscription.replace(subscription_id=f"{subscription.id}-g")
+            )
+            count += 1
+            if next_checkpoint < len(checkpoints) and count == checkpoints[next_checkpoint]:
+                # "Subscription set size" = subscriptions not declared
+                # covered on arrival, i.e. those a broker would propagate
+                # and store (the store's cumulative "forwarded" counter).
+                pairwise_sizes.append(float(pairwise_store.stats["forwarded"]))
+                group_sizes.append(float(group_store.stats["forwarded"]))
+                next_checkpoint += 1
+        per_m_results[m] = {"pairwise": pairwise_sizes, "group": group_sizes}
+
+    for index, checkpoint in enumerate(checkpoints):
+        fig13_row: Dict[str, float] = {}
+        fig14_row: Dict[str, float] = {}
+        for m in config.m_values:
+            pairwise_sizes = per_m_results[m]["pairwise"]
+            group_sizes = per_m_results[m]["group"]
+            if index >= len(pairwise_sizes):
+                continue
+            fig13_row[f"m={m}, pair-wise"] = pairwise_sizes[index]
+            fig13_row[f"m={m}, group"] = group_sizes[index]
+            ratio = (
+                group_sizes[index] / pairwise_sizes[index]
+                if pairwise_sizes[index] > 0
+                else 1.0
+            )
+            fig14_row[f"m={m}"] = ratio
+        fig13.add_row(checkpoint, fig13_row)
+        fig14.add_row(checkpoint, fig14_row)
+    return {"fig13": fig13, "fig14": fig14}

@@ -1,0 +1,82 @@
+"""Figures 11 and 12 — the extreme non-cover scenario (Section 6.3).
+
+The subscription set covers ``s`` entirely except for a narrow slice over
+one attribute whose relative width (the *gap size*) is swept from 0.5 % to
+4.5 %.  For error probabilities δ ∈ {10⁻³, 10⁻⁶, 10⁻¹⁰} the experiment
+measures
+
+* **Figure 11** — the average number of RSPC guesses actually performed
+  before answering, and
+* **Figure 12** — the number of false decisions (a non-covered subscription
+  declared covered, i.e. wrongly withheld) over the configured number of
+  runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.subsumption import SubsumptionChecker
+from repro.experiments.config import ExtremeNonCoverConfig
+from repro.experiments.series import ResultTable
+from repro.model.schema import Schema
+from repro.utils.rng import ensure_rng
+from repro.workloads.scenarios import extreme_non_cover_scenario
+
+__all__ = ["run_extreme_non_cover"]
+
+
+def run_extreme_non_cover(
+    config: ExtremeNonCoverConfig = ExtremeNonCoverConfig(),
+) -> Dict[str, ResultTable]:
+    """Run the extreme non-cover sweep.
+
+    Returns ``{"fig11": …, "fig12": …}`` with one series per error
+    probability; Figure 12 additionally reports the false-decision counts
+    normalised to the paper's 3000 runs for easier comparison.
+    """
+    rng = ensure_rng(config.seed)
+    schema = Schema.uniform_integer(config.m, 0, config.domain_size)
+
+    fig11 = ResultTable(
+        title="Figure 11 — actual RSPC iterations vs gap size (extreme non cover)",
+        x_label="gap_%",
+        notes=f"k={config.k}, m={config.m}, runs/point={config.runs_per_point}",
+    )
+    fig12 = ResultTable(
+        title="Figure 12 — false decisions vs gap size (extreme non cover)",
+        x_label="gap_%",
+        notes=(
+            f"k={config.k}, m={config.m}, runs/point={config.runs_per_point} "
+            "(…/3000 columns are scaled to the paper's 3000 runs)"
+        ),
+    )
+
+    for gap_fraction in config.gap_fractions:
+        fig11_row: Dict[str, float] = {}
+        fig12_row: Dict[str, float] = {}
+        for delta in config.deltas:
+            checker = SubsumptionChecker(
+                delta=delta,
+                max_iterations=config.max_iterations,
+                rng=rng,
+            )
+            iterations = []
+            false_decisions = 0
+            for _ in range(config.runs_per_point):
+                instance = extreme_non_cover_scenario(
+                    schema, config.k, gap_fraction, rng
+                )
+                result = checker.check(instance.subscription, instance.candidates)
+                iterations.append(result.iterations_performed)
+                if result.covered:
+                    false_decisions += 1
+            label = f"error={delta:g}"
+            fig11_row[label] = sum(iterations) / max(len(iterations), 1)
+            fig12_row[label] = false_decisions
+            fig12_row[f"{label}/3000"] = (
+                false_decisions * 3000.0 / config.runs_per_point
+            )
+        fig11.add_row(gap_fraction * 100.0, fig11_row)
+        fig12.add_row(gap_fraction * 100.0, fig12_row)
+    return {"fig11": fig11, "fig12": fig12}

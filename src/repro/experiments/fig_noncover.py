@@ -1,0 +1,119 @@
+"""Figures 8, 9 and 10 — the non-cover scenario (Section 6.2).
+
+The generated set ``S`` overlaps the tested subscription ``s`` on many
+attributes but leaves a slice of one attribute uncovered, so ``s`` is never
+covered and the whole set is redundant.  The experiment measures
+
+* **Figure 8** — the fraction of (all, redundant) subscriptions removed by
+  the MCS reduction,
+* **Figure 9** — the theoretical ``log10(d)`` with and without MCS, and
+* **Figure 10** — the number of RSPC guesses actually performed by the full
+  pipeline (with and without MCS), which is far below the theoretical ``d``
+  because the non-cover is usually detected deterministically or with the
+  first few guesses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.conflict_table import ConflictTable
+from repro.core.error_model import required_iterations
+from repro.core.mcs import minimized_cover_set
+from repro.core.subsumption import SubsumptionChecker
+from repro.core.witness import estimate_smallest_witness
+from repro.experiments.config import NonCoverConfig
+from repro.experiments.fig_redundant import _log10_clamped, _mean
+from repro.experiments.series import ResultTable
+from repro.model.schema import Schema
+from repro.utils.rng import ensure_rng
+from repro.workloads.scenarios import non_cover_scenario
+
+__all__ = ["run_non_cover"]
+
+
+def run_non_cover(config: NonCoverConfig = NonCoverConfig()) -> Dict[str, ResultTable]:
+    """Run the non-cover sweep.
+
+    Returns ``{"fig8": …, "fig9": …, "fig10": …}``.
+    """
+    rng = ensure_rng(config.seed)
+    fig8 = ResultTable(
+        title="Figure 8 — redundant-subscription reduction (non cover)",
+        x_label="k",
+        notes=f"delta={config.delta:g}, runs/point={config.runs_per_point}",
+    )
+    fig9 = ResultTable(
+        title="Figure 9 — log10(theoretical d), non cover",
+        x_label="k",
+        notes=f"delta={config.delta:g}, runs/point={config.runs_per_point}",
+    )
+    fig10 = ResultTable(
+        title="Figure 10 — actual RSPC iterations, non cover",
+        x_label="k",
+        notes=f"delta={config.delta:g}, runs/point={config.runs_per_point}",
+    )
+
+    for k in config.k_values:
+        fig8_row: Dict[str, float] = {}
+        fig9_row: Dict[str, float] = {}
+        fig10_row: Dict[str, float] = {}
+        for m in config.m_values:
+            schema = Schema.uniform_integer(m, 0, config.domain_size)
+            reductions = []
+            log_d_plain = []
+            log_d_mcs = []
+            actual_plain = []
+            actual_mcs = []
+            checker_mcs = SubsumptionChecker(
+                delta=config.delta,
+                max_iterations=config.max_iterations,
+                use_mcs=True,
+                rng=rng,
+            )
+            checker_plain = SubsumptionChecker(
+                delta=config.delta,
+                max_iterations=config.max_iterations,
+                use_mcs=False,
+                rng=rng,
+            )
+            for _ in range(config.runs_per_point):
+                instance = non_cover_scenario(schema, k, rng)
+                table = ConflictTable(instance.subscription, instance.candidates)
+                reduction = minimized_cover_set(table)
+                reductions.append(len(reduction.removed_rows) / max(k, 1))
+
+                plain = estimate_smallest_witness(table)
+                log_d_plain.append(
+                    _log10_clamped(required_iterations(config.delta, plain.rho_w))
+                    if plain.rho_w > 0
+                    else math.inf
+                )
+                if reduction.kept_rows:
+                    kept = estimate_smallest_witness(table, list(reduction.kept_rows))
+                    log_d_mcs.append(
+                        _log10_clamped(required_iterations(config.delta, kept.rho_w))
+                        if kept.rho_w > 0
+                        else math.inf
+                    )
+                else:
+                    log_d_mcs.append(0.0)
+
+                with_mcs = checker_mcs.check(
+                    instance.subscription, instance.candidates
+                )
+                without_mcs = checker_plain.check(
+                    instance.subscription, instance.candidates
+                )
+                actual_mcs.append(with_mcs.iterations_performed)
+                actual_plain.append(without_mcs.iterations_performed)
+            fig8_row[f"m={m}"] = _mean(reductions)
+            fig9_row[f"m={m}"] = _mean(log_d_plain)
+            fig9_row[f"m={m};MCS"] = _mean(log_d_mcs)
+            fig10_row[f"m={m}"] = _mean(actual_plain)
+            fig10_row[f"m={m};MCS"] = _mean(actual_mcs)
+        fig8.add_row(k, fig8_row)
+        fig9.add_row(k, fig9_row)
+        fig10.add_row(k, fig10_row)
+    return {"fig8": fig8, "fig9": fig9, "fig10": fig10}

@@ -1,0 +1,23 @@
+"""Publication-to-subscription matching.
+
+The centrepiece is :class:`MatchingEngine`, which implements Algorithm 5 of
+the paper: publications are matched against the *active* (uncovered)
+subscriptions first and the covered subscriptions are consulted only when
+an active subscription matched.  The optional multi-level cover index
+(:class:`CoverForest`) implements the optimisation sketched at the end of
+Section 4.4, and two classical matching indexes (counting and selectivity)
+are provided as baselines for the micro-benchmarks.
+"""
+
+from repro.matching.cover_index import CoverForest
+from repro.matching.counting_index import CountingIndex
+from repro.matching.engine import MatchingEngine, MatchResult
+from repro.matching.selectivity_index import SelectivityIndex
+
+__all__ = [
+    "CoverForest",
+    "CountingIndex",
+    "MatchingEngine",
+    "MatchResult",
+    "SelectivityIndex",
+]

@@ -1,0 +1,96 @@
+"""Counting-algorithm matching index.
+
+The counting algorithm (Yan & Garcia-Molina, referenced as the ancestor of
+most deterministic matchers in Section 7) evaluates every attribute
+independently: for each attribute it determines which subscriptions'
+constraints are satisfied by the publication's value and increments a
+per-subscription counter; a subscription matches when its counter reaches
+the number of attributes.
+
+This implementation keeps per-attribute bound arrays and evaluates each
+attribute with vectorised comparisons, which is the natural NumPy
+realisation of the counting strategy.  It serves as a deterministic
+baseline for the matching micro-benchmarks and as an independent test
+oracle for the matching engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.errors import ValidationError
+from repro.model.publications import Publication
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+
+__all__ = ["CountingIndex"]
+
+
+class CountingIndex:
+    """Vectorised counting-algorithm index over a fixed schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._subscriptions: List[Subscription] = []
+        self._lows: Optional[np.ndarray] = None
+        self._highs: Optional[np.ndarray] = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> None:
+        """Index a subscription."""
+        if subscription.schema != self.schema:
+            raise ValidationError("subscription schema does not match the index")
+        self._subscriptions.append(subscription)
+        self._dirty = True
+
+    def add_all(self, subscriptions: Sequence[Subscription]) -> None:
+        """Index many subscriptions at once."""
+        for subscription in subscriptions:
+            self.add(subscription)
+
+    def remove(self, subscription_id: str) -> bool:
+        """Remove a subscription by identifier."""
+        for index, subscription in enumerate(self._subscriptions):
+            if subscription.id == subscription_id:
+                del self._subscriptions[index]
+                self._dirty = True
+                return True
+        return False
+
+    def _rebuild(self) -> None:
+        if self._subscriptions:
+            self._lows = np.vstack([s.lows for s in self._subscriptions])
+            self._highs = np.vstack([s.highs for s in self._subscriptions])
+        else:
+            self._lows = np.empty((0, self.schema.m), dtype=float)
+            self._highs = np.empty((0, self.schema.m), dtype=float)
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, publication: Publication) -> List[Subscription]:
+        """Return every indexed subscription matching ``publication``."""
+        if publication.schema != self.schema:
+            raise ValidationError("publication schema does not match the index")
+        if self._dirty or self._lows is None:
+            self._rebuild()
+        if not self._subscriptions:
+            return []
+        values = publication.values[np.newaxis, :]
+        satisfied = (self._lows <= values) & (values <= self._highs)
+        counts = satisfied.sum(axis=1)
+        hits = np.nonzero(counts == self.schema.m)[0]
+        return [self._subscriptions[i] for i in hits]
+
+    def match_count(self, publication: Publication) -> int:
+        """Number of matching subscriptions (cheaper than materialising)."""
+        return len(self.match(publication))
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)

@@ -1,0 +1,203 @@
+"""Multi-level cover index (Section 4.4, optimisation).
+
+The paper suggests organising the covered subscriptions "by remembering for
+each element the subscription(s) that cover it", producing a multi-level
+structure in which a publication is checked against a covered subscription
+only when one of its coverers matched.
+
+:class:`CoverForest` implements that structure as a forest: active
+subscriptions are roots, and every covered subscription is attached as a
+child of one subscription that covers it (its *primary coverer*).  Matching
+walks the forest top-down and prunes entire subtrees whose root does not
+match — sound because a publication matching a covered subscription
+necessarily matches every subscription that covers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.publications import Publication
+from repro.model.subscriptions import Subscription
+
+__all__ = ["CoverForest"]
+
+
+@dataclass
+class _Node:
+    """One subscription and the covered subscriptions attached below it."""
+
+    subscription: Subscription
+    children: List["_Node"] = field(default_factory=list)
+
+
+class CoverForest:
+    """Forest of subscriptions ordered by the covering relation."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[str, _Node] = {}
+        self._nodes: Dict[str, _Node] = {}
+        self._parent: Dict[str, Optional[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_root(self, subscription: Subscription) -> None:
+        """Insert an active (uncovered) subscription as a root."""
+        if subscription.id in self._nodes:
+            raise ValueError(f"subscription {subscription.id!r} already indexed")
+        node = _Node(subscription)
+        self._roots[subscription.id] = node
+        self._nodes[subscription.id] = node
+        self._parent[subscription.id] = None
+
+    def add_covered(
+        self, subscription: Subscription, coverer_id: str
+    ) -> None:
+        """Attach a covered subscription below its primary coverer.
+
+        The coverer must already be indexed (as a root or as another covered
+        subscription — the structure may be arbitrarily deep).
+        """
+        if subscription.id in self._nodes:
+            raise ValueError(f"subscription {subscription.id!r} already indexed")
+        parent = self._nodes.get(coverer_id)
+        if parent is None:
+            raise KeyError(f"unknown coverer {coverer_id!r}")
+        node = _Node(subscription)
+        parent.children.append(node)
+        self._nodes[subscription.id] = node
+        self._parent[subscription.id] = coverer_id
+
+    def reparent(self, subscription_id: str, new_parent_id: Optional[str]) -> None:
+        """Move a subscription (with its whole subtree) under a new parent.
+
+        ``new_parent_id=None`` turns the subscription into a root.  Used by
+        the matching engine when an active subscription is demoted below a
+        newly arrived subscription that covers it.
+        """
+        node = self._nodes.get(subscription_id)
+        if node is None:
+            raise KeyError(f"unknown subscription {subscription_id!r}")
+        if new_parent_id is not None and new_parent_id not in self._nodes:
+            raise KeyError(f"unknown parent {new_parent_id!r}")
+        old_parent_id = self._parent.get(subscription_id)
+        if old_parent_id is None:
+            self._roots.pop(subscription_id, None)
+        else:
+            old_parent = self._nodes[old_parent_id]
+            old_parent.children = [
+                child for child in old_parent.children
+                if child.subscription.id != subscription_id
+            ]
+        if new_parent_id is None:
+            self._roots[subscription_id] = node
+            self._parent[subscription_id] = None
+        else:
+            self._nodes[new_parent_id].children.append(node)
+            self._parent[subscription_id] = new_parent_id
+
+    def remove(self, subscription_id: str) -> Tuple[Subscription, ...]:
+        """Remove a subscription; its children are re-rooted and returned.
+
+        The caller (typically :class:`~repro.core.store.SubscriptionStore`)
+        decides whether the orphaned children become active or get
+        re-attached elsewhere.
+        """
+        node = self._nodes.pop(subscription_id, None)
+        if node is None:
+            return ()
+        parent_id = self._parent.pop(subscription_id, None)
+        if parent_id is None:
+            self._roots.pop(subscription_id, None)
+        else:
+            parent = self._nodes.get(parent_id)
+            if parent is not None:
+                parent.children = [
+                    child for child in parent.children
+                    if child.subscription.id != subscription_id
+                ]
+        orphans = tuple(child.subscription for child in node.children)
+        for child in node.children:
+            self._nodes.pop(child.subscription.id, None)
+            self._parent.pop(child.subscription.id, None)
+            self._forget_subtree(child)
+        return orphans
+
+    def _forget_subtree(self, node: _Node) -> None:
+        for child in node.children:
+            self._nodes.pop(child.subscription.id, None)
+            self._parent.pop(child.subscription.id, None)
+            self._forget_subtree(child)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def roots(self) -> Tuple[Subscription, ...]:
+        """The active subscriptions at the top of the forest."""
+        return tuple(node.subscription for node in self._roots.values())
+
+    def depth(self, subscription_id: str) -> int:
+        """Depth of a subscription in the forest (roots have depth 0)."""
+        depth = 0
+        current = self._parent.get(subscription_id)
+        if subscription_id not in self._nodes:
+            raise KeyError(f"unknown subscription {subscription_id!r}")
+        while current is not None:
+            depth += 1
+            current = self._parent.get(current)
+        return depth
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return subscription_id in self._nodes
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, publication: Publication) -> Tuple[List[Subscription], int]:
+        """Return the matching subscriptions and the number of tests done.
+
+        The walk only descends into children whose parent matched, which is
+        where the saving over a flat scan of the covered set comes from.
+        """
+        matched: List[Subscription] = []
+        tests = 0
+        stack: List[_Node] = list(self._roots.values())
+        while stack:
+            node = stack.pop()
+            tests += 1
+            if node.subscription.contains_point(publication.values):
+                matched.append(node.subscription)
+                stack.extend(node.children)
+        return matched, tests
+
+    def match_below(
+        self, publication: Publication, root_ids: Iterable[str]
+    ) -> Tuple[List[Subscription], int]:
+        """Match only the subscriptions strictly below the given roots.
+
+        Used by the matching engine after it has already tested the active
+        set: the walk starts at the children of the roots known to match and
+        descends only through matching nodes, so every covered subscription
+        is tested at most once and only when one of its (transitive)
+        coverers matched.
+        """
+        matched: List[Subscription] = []
+        tests = 0
+        stack: List[_Node] = []
+        for root_id in root_ids:
+            node = self._roots.get(root_id)
+            if node is not None:
+                stack.extend(node.children)
+        while stack:
+            node = stack.pop()
+            tests += 1
+            if node.subscription.contains_point(publication.values):
+                matched.append(node.subscription)
+                stack.extend(node.children)
+        return matched, tests

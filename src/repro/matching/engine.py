@@ -1,0 +1,249 @@
+"""Matching engine (Algorithm 5).
+
+The engine answers "which subscriptions does publication ``p`` match, and
+which subscribers must be notified?".  Following Algorithm 5, the active
+(uncovered) subscriptions are checked first; only when at least one of them
+matches does the engine look at the covered subscriptions — either with a
+flat scan (the paper's base algorithm) or through the multi-level
+:class:`~repro.matching.cover_index.CoverForest` (the paper's
+optimisation).
+
+Soundness of the multi-level structure: a covered subscription is attached
+below another subscription only when that parent *pair-wise covers* it, so
+pruning a non-matching subtree can never lose a notification.  Subscriptions
+covered only by a *union* of subscriptions (the group policy's new case)
+are kept in a flat bucket that is scanned whenever any active subscription
+matched — exactly the fallback behaviour of Algorithm 5 — because no single
+parent is guaranteed to dominate them.
+
+The engine owns a :class:`~repro.core.store.SubscriptionStore`, so it also
+exposes the subscribe/unsubscribe workflow used by the examples and by the
+broker simulator's local-client handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.store import CoveringPolicyName, StoreDecision, SubscriptionStore
+from repro.core.subsumption import SubsumptionChecker
+from repro.matching.cover_index import CoverForest
+from repro.model.publications import Publication
+from repro.model.subscriptions import Subscription
+
+__all__ = ["MatchResult", "MatchingEngine"]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one publication.
+
+    Attributes
+    ----------
+    publication:
+        The matched publication.
+    matched:
+        Every subscription (active or covered) that matches it.
+    subscribers:
+        De-duplicated subscriber identifiers to notify.
+    active_tests:
+        Membership tests performed against the active set.
+    covered_tests:
+        Membership tests performed against covered subscriptions (0 when no
+        active subscription matched, by Algorithm 5).
+    """
+
+    publication: Publication
+    matched: Tuple[Subscription, ...]
+    subscribers: Tuple[str, ...]
+    active_tests: int
+    covered_tests: int
+
+    @property
+    def matched_ids(self) -> Tuple[str, ...]:
+        """Identifiers of the matched subscriptions."""
+        return tuple(subscription.id for subscription in self.matched)
+
+    @property
+    def total_tests(self) -> int:
+        """Total membership tests performed."""
+        return self.active_tests + self.covered_tests
+
+    def __bool__(self) -> bool:
+        return bool(self.matched)
+
+
+class MatchingEngine:
+    """Subscription registry + Algorithm 5 matcher.
+
+    Parameters
+    ----------
+    policy:
+        Covering policy of the underlying store (``none`` / ``pairwise`` /
+        ``group``).
+    checker:
+        Group-subsumption checker used by the ``group`` policy.
+    use_cover_forest:
+        Whether pair-wise-covered subscriptions are organised in the
+        multi-level structure (Section 4.4 optimisation) instead of a flat
+        list.
+    """
+
+    def __init__(
+        self,
+        policy: CoveringPolicyName = CoveringPolicyName.GROUP,
+        checker: Optional[SubsumptionChecker] = None,
+        use_cover_forest: bool = True,
+    ):
+        self.store = SubscriptionStore(policy=policy, checker=checker)
+        self.use_cover_forest = use_cover_forest
+        self._forest = CoverForest()
+        self._group_covered: List[Subscription] = []
+        #: cumulative counters for the micro-benchmarks
+        self.stats: Dict[str, int] = {
+            "publications": 0,
+            "notifications": 0,
+            "active_tests": 0,
+            "covered_tests": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(self, subscription: Subscription) -> StoreDecision:
+        """Register a subscription, returning the store's decision."""
+        decision = self.store.add(subscription)
+        if self.use_cover_forest:
+            self._sync_forest(decision)
+        return decision
+
+    def subscribe_all(
+        self, subscriptions: Iterable[Subscription]
+    ) -> List[StoreDecision]:
+        """Register many subscriptions in order."""
+        return [self.subscribe(subscription) for subscription in subscriptions]
+
+    def unsubscribe(self, subscription_id: str) -> Tuple[Subscription, ...]:
+        """Remove a subscription; returns promoted covered subscriptions."""
+        promoted = self.store.remove(subscription_id)
+        if self.use_cover_forest:
+            self._rebuild_forest()
+        return promoted
+
+    def _sync_forest(self, decision: StoreDecision) -> None:
+        subscription = decision.subscription
+        if decision.forwarded:
+            self._forest.add_root(subscription)
+            for demoted in decision.demoted:
+                # The newcomer pair-wise covers the demoted subscription, so
+                # re-rooting it (with its whole subtree) under the newcomer
+                # keeps the forest's covering invariant.
+                self._forest.reparent(demoted.id, subscription.id)
+            return
+        coverer_id = self._single_coverer(decision)
+        if coverer_id is not None and coverer_id in self._forest:
+            self._forest.add_covered(subscription, coverer_id)
+        else:
+            self._group_covered.append(subscription)
+
+    def _single_coverer(self, decision: StoreDecision) -> Optional[str]:
+        """Identifier of a subscription that pair-wise covers the newcomer."""
+        subscription = decision.subscription
+        for candidate_id in decision.covered_by:
+            candidate = self.store.find(candidate_id)
+            if candidate is not None and candidate.covers(subscription):
+                return candidate_id
+        return None
+
+    def _rebuild_forest(self) -> None:
+        self._forest = CoverForest()
+        self._group_covered = []
+        for active in self.store.active:
+            self._forest.add_root(active)
+        for covered in self.store.covered:
+            parent_id = None
+            for candidate_id in self.store.cover_links.get(covered.id, ()):
+                candidate = self.store.find(candidate_id)
+                if (
+                    candidate is not None
+                    and candidate_id in self._forest
+                    and candidate.covers(covered)
+                ):
+                    parent_id = candidate_id
+                    break
+            if parent_id is not None:
+                self._forest.add_covered(covered, parent_id)
+            else:
+                self._group_covered.append(covered)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def active_subscriptions(self) -> Tuple[Subscription, ...]:
+        """Active (uncovered) subscriptions."""
+        return self.store.active
+
+    @property
+    def covered_subscriptions(self) -> Tuple[Subscription, ...]:
+        """Covered (suppressed) subscriptions."""
+        return self.store.covered
+
+    def __len__(self) -> int:
+        return self.store.total_count
+
+    # ------------------------------------------------------------------
+    # Matching (Algorithm 5)
+    # ------------------------------------------------------------------
+    def match(self, publication: Publication) -> MatchResult:
+        """Match a publication following Algorithm 5."""
+        self.stats["publications"] += 1
+        matched: List[Subscription] = []
+        active_tests = 0
+        matched_active_ids: List[str] = []
+        for subscription in self.store.active:
+            active_tests += 1
+            if subscription.contains_point(publication.values):
+                matched.append(subscription)
+                matched_active_ids.append(subscription.id)
+
+        covered_tests = 0
+        if matched:
+            if self.use_cover_forest:
+                below, tests = self._forest.match_below(
+                    publication, matched_active_ids
+                )
+                covered_tests += tests
+                matched.extend(below)
+                for subscription in self._group_covered:
+                    covered_tests += 1
+                    if subscription.contains_point(publication.values):
+                        matched.append(subscription)
+            else:
+                for subscription in self.store.covered:
+                    covered_tests += 1
+                    if subscription.contains_point(publication.values):
+                        matched.append(subscription)
+
+        subscribers = tuple(
+            dict.fromkeys(
+                subscription.subscriber
+                for subscription in matched
+                if subscription.subscriber is not None
+            )
+        )
+        self.stats["notifications"] += len(subscribers)
+        self.stats["active_tests"] += active_tests
+        self.stats["covered_tests"] += covered_tests
+        return MatchResult(
+            publication=publication,
+            matched=tuple(matched),
+            subscribers=subscribers,
+            active_tests=active_tests,
+            covered_tests=covered_tests,
+        )
+
+    def match_all(self, publications: Iterable[Publication]) -> List[MatchResult]:
+        """Match a stream of publications."""
+        return [self.match(publication) for publication in publications]

@@ -1,0 +1,109 @@
+"""Selectivity-ordered matching index.
+
+Carzaniga & Wolf's forwarding tables (referenced in Section 7) organise
+constraints per attribute and evaluate the most *selective* attributes
+first so that the candidate set shrinks as quickly as possible.  This
+index captures that idea: attributes are ordered by their estimated
+selectivity (average fraction of the attribute's domain that indexed
+subscriptions accept) and candidate subscriptions are eliminated attribute
+by attribute, short-circuiting as soon as the candidate set becomes empty.
+
+The result is always identical to the counting index; the difference is
+the amount of per-publication work, which the micro-benchmarks compare.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.errors import ValidationError
+from repro.model.publications import Publication
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+
+__all__ = ["SelectivityIndex"]
+
+
+class SelectivityIndex:
+    """Attribute-ordered elimination index."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._subscriptions: List[Subscription] = []
+        self._lows: Optional[np.ndarray] = None
+        self._highs: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> None:
+        """Index a subscription."""
+        if subscription.schema != self.schema:
+            raise ValidationError("subscription schema does not match the index")
+        self._subscriptions.append(subscription)
+        self._dirty = True
+
+    def add_all(self, subscriptions: Sequence[Subscription]) -> None:
+        """Index many subscriptions at once."""
+        for subscription in subscriptions:
+            self.add(subscription)
+
+    def remove(self, subscription_id: str) -> bool:
+        """Remove a subscription by identifier."""
+        for index, subscription in enumerate(self._subscriptions):
+            if subscription.id == subscription_id:
+                del self._subscriptions[index]
+                self._dirty = True
+                return True
+        return False
+
+    def _rebuild(self) -> None:
+        if self._subscriptions:
+            self._lows = np.vstack([s.lows for s in self._subscriptions])
+            self._highs = np.vstack([s.highs for s in self._subscriptions])
+            domain_lows, domain_highs = self.schema.full_bounds()
+            extents = np.maximum(domain_highs - domain_lows, 1e-12)
+            widths = (self._highs - self._lows) / extents[np.newaxis, :]
+            # Most selective attribute = smallest average accepted fraction.
+            self._order = np.argsort(widths.mean(axis=0))
+        else:
+            self._lows = np.empty((0, self.schema.m), dtype=float)
+            self._highs = np.empty((0, self.schema.m), dtype=float)
+            self._order = np.arange(self.schema.m)
+        self._dirty = False
+
+    @property
+    def attribute_order(self) -> List[str]:
+        """Evaluation order chosen by the selectivity heuristic."""
+        if self._dirty or self._order is None:
+            self._rebuild()
+        return [self.schema.names[j] for j in self._order]
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, publication: Publication) -> List[Subscription]:
+        """Return every indexed subscription matching ``publication``."""
+        if publication.schema != self.schema:
+            raise ValidationError("publication schema does not match the index")
+        if self._dirty or self._lows is None:
+            self._rebuild()
+        if not self._subscriptions:
+            return []
+        candidates = np.arange(len(self._subscriptions))
+        for attribute in self._order:
+            value = publication.values[attribute]
+            keep = (self._lows[candidates, attribute] <= value) & (
+                value <= self._highs[candidates, attribute]
+            )
+            candidates = candidates[keep]
+            if candidates.size == 0:
+                return []
+        return [self._subscriptions[i] for i in candidates]
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)

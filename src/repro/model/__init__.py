@@ -1,0 +1,72 @@
+"""Data model for content-based publish/subscribe.
+
+Publications are points in an ``m``-dimensional attribute space and
+subscriptions are conjunctions of range predicates, i.e. axis-aligned
+hyper-rectangles (convex polyhedra in the paper's terminology).  Attribute
+values come from *domains* (integer ranges, continuous ranges, finite
+categorical sets, timestamps) that all encode to numbers so the core
+algorithms can treat every subscription uniformly as a box of
+``[low, high]`` intervals.
+"""
+
+from repro.model.attributes import (
+    Attribute,
+    AttributeDomain,
+    CategoricalDomain,
+    ContinuousDomain,
+    IntegerDomain,
+    TimestampDomain,
+)
+from repro.model.builders import SubscriptionBuilder
+from repro.model.errors import (
+    DomainError,
+    ModelError,
+    SchemaError,
+    SerializationError,
+    ValidationError,
+)
+from repro.model.intervals import Interval
+from repro.model.predicates import Operator, Predicate
+from repro.model.publications import ImprecisePublication, Publication
+from repro.model.schema import Schema
+from repro.model.serialization import (
+    publication_from_dict,
+    publication_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    subscription_from_dict,
+    subscription_from_json,
+    subscription_to_dict,
+    subscription_to_json,
+)
+from repro.model.subscriptions import Subscription
+
+__all__ = [
+    "Attribute",
+    "AttributeDomain",
+    "CategoricalDomain",
+    "ContinuousDomain",
+    "DomainError",
+    "ImprecisePublication",
+    "IntegerDomain",
+    "Interval",
+    "ModelError",
+    "Operator",
+    "Predicate",
+    "Publication",
+    "Schema",
+    "SchemaError",
+    "SerializationError",
+    "Subscription",
+    "SubscriptionBuilder",
+    "TimestampDomain",
+    "ValidationError",
+    "publication_from_dict",
+    "publication_to_dict",
+    "schema_from_dict",
+    "schema_to_dict",
+    "subscription_from_dict",
+    "subscription_from_json",
+    "subscription_to_dict",
+    "subscription_to_json",
+]

@@ -1,0 +1,131 @@
+"""Fluent builder for subscriptions.
+
+The builder offers a small DSL mirroring the verbose subscriptions of the
+paper's motivating scenario (Section 3), e.g.::
+
+    subscription = (
+        SubscriptionBuilder(schema, subscriber="alice")
+        .between("bID", 1000, 1999)
+        .equals("size", 19)
+        .equals("brand", "X")
+        .between("rpID", 820, 840)
+        .between("date", "2006-03-31T16:00:00", "2006-03-31T20:00:00")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.model.errors import ValidationError
+from repro.model.intervals import Interval
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+
+__all__ = ["SubscriptionBuilder"]
+
+
+class SubscriptionBuilder:
+    """Accumulates per-attribute constraints and builds a subscription."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        subscriber: Optional[str] = None,
+        subscription_id: Optional[str] = None,
+    ):
+        self._schema = schema
+        self._subscriber = subscriber
+        self._subscription_id = subscription_id
+        self._constraints: Dict[str, Any] = {}
+        self._metadata: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Constraint setters
+    # ------------------------------------------------------------------
+    def between(self, attribute: str, low: Any, high: Any) -> "SubscriptionBuilder":
+        """Constrain ``attribute`` to the inclusive range ``[low, high]``."""
+        self._check_attribute(attribute)
+        self._merge(attribute, (low, high))
+        return self
+
+    def equals(self, attribute: str, value: Any) -> "SubscriptionBuilder":
+        """Constrain ``attribute`` to a single value."""
+        self._check_attribute(attribute)
+        self._merge(attribute, (value, value))
+        return self
+
+    def at_least(self, attribute: str, value: Any) -> "SubscriptionBuilder":
+        """Constrain ``attribute`` to be at least ``value``."""
+        self._check_attribute(attribute)
+        domain = self._schema.domain(attribute)
+        self._merge(attribute, Interval(domain.encode(value), domain.upper_bound))
+        return self
+
+    def at_most(self, attribute: str, value: Any) -> "SubscriptionBuilder":
+        """Constrain ``attribute`` to be at most ``value``."""
+        self._check_attribute(attribute)
+        domain = self._schema.domain(attribute)
+        self._merge(attribute, Interval(domain.lower_bound, domain.encode(value)))
+        return self
+
+    def one_of(self, attribute: str, values: Sequence[Any]) -> "SubscriptionBuilder":
+        """Constrain a categorical ``attribute`` to a contiguous label run."""
+        self._check_attribute(attribute)
+        domain = self._schema.domain(attribute)
+        encode_members = getattr(domain, "encode_members", None)
+        if encode_members is None:
+            raise ValidationError(
+                f"one_of requires a categorical domain for {attribute!r}"
+            )
+        self._merge(attribute, encode_members(list(values)))
+        return self
+
+    def any(self, attribute: str) -> "SubscriptionBuilder":
+        """Explicitly mark ``attribute`` as unconstrained."""
+        self._check_attribute(attribute)
+        self._constraints[attribute] = None
+        return self
+
+    def with_metadata(self, **metadata: Any) -> "SubscriptionBuilder":
+        """Attach free-form metadata to the resulting subscription."""
+        self._metadata.update(metadata)
+        return self
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_attribute(self, attribute: str) -> None:
+        if attribute not in self._schema:
+            raise ValidationError(
+                f"unknown attribute {attribute!r} for schema {self._schema.name!r}"
+            )
+
+    def _merge(self, attribute: str, spec: Any) -> None:
+        domain = self._schema.domain(attribute)
+        if isinstance(spec, Interval):
+            new = domain.clip(spec)
+        else:
+            new = domain.encode_interval(spec[0], spec[1])
+        existing = self._constraints.get(attribute)
+        if isinstance(existing, Interval):
+            new = existing.intersection(new)
+        if new.is_empty:
+            raise ValidationError(
+                f"conjunction of constraints on {attribute!r} is unsatisfiable"
+            )
+        self._constraints[attribute] = new
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Subscription:
+        """Materialise the accumulated constraints into a subscription."""
+        return Subscription.from_constraints(
+            self._schema,
+            self._constraints,
+            subscription_id=self._subscription_id,
+            subscriber=self._subscriber,
+            metadata=self._metadata,
+        )

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the data model layer."""
+
+
+class ModelError(Exception):
+    """Base class for all data-model errors."""
+
+
+class DomainError(ModelError):
+    """A value or interval is incompatible with an attribute domain."""
+
+
+class SchemaError(ModelError):
+    """A schema is malformed or an attribute lookup failed."""
+
+
+class ValidationError(ModelError):
+    """A subscription or publication violates its schema."""
+
+
+class SerializationError(ModelError):
+    """A serialized representation could not be parsed or produced."""

@@ -1,0 +1,208 @@
+"""Simple predicates.
+
+The paper (Definition 1) models a subscription as a conjunction of *simple
+predicates*, each a linear constraint over one attribute.  We support the
+comparison operators needed to express the paper's examples and the usual
+publish/subscribe languages (Siena-style):
+
+=================  ====================================
+Operator           Meaning
+=================  ====================================
+``EQ``             ``x == value``
+``GE`` / ``GT``    ``x >= value`` / ``x > value``
+``LE`` / ``LT``    ``x <= value`` / ``x < value``
+``BETWEEN``        ``low <= x <= high``
+``ANY``            attribute unconstrained (``*``)
+``IN``             member of a contiguous label run
+=================  ====================================
+
+Predicates are compiled to closed intervals on the attribute's encoded axis
+by :meth:`Predicate.to_interval`; conjunctions of predicates on the same
+attribute intersect their intervals (see
+:meth:`repro.model.subscriptions.Subscription.from_predicates`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.model.attributes import AttributeDomain, CategoricalDomain
+from repro.model.errors import ValidationError
+from repro.model.intervals import Interval
+
+__all__ = ["Operator", "Predicate"]
+
+
+class Operator(str, Enum):
+    """Comparison operators available in subscription predicates."""
+
+    EQ = "eq"
+    GE = "ge"
+    GT = "gt"
+    LE = "le"
+    LT = "lt"
+    BETWEEN = "between"
+    ANY = "any"
+    IN = "in"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A constraint on a single attribute.
+
+    Parameters
+    ----------
+    attribute:
+        Attribute name the predicate constrains.
+    operator:
+        One of :class:`Operator`.
+    value:
+        Operand.  ``BETWEEN`` expects a ``(low, high)`` pair, ``IN`` a
+        sequence of labels, ``ANY`` ignores the operand.
+    """
+
+    attribute: str
+    operator: Operator
+    value: Any = None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def eq(attribute: str, value: Any) -> "Predicate":
+        """``attribute == value``."""
+        return Predicate(attribute, Operator.EQ, value)
+
+    @staticmethod
+    def ge(attribute: str, value: Any) -> "Predicate":
+        """``attribute >= value``."""
+        return Predicate(attribute, Operator.GE, value)
+
+    @staticmethod
+    def gt(attribute: str, value: Any) -> "Predicate":
+        """``attribute > value``."""
+        return Predicate(attribute, Operator.GT, value)
+
+    @staticmethod
+    def le(attribute: str, value: Any) -> "Predicate":
+        """``attribute <= value``."""
+        return Predicate(attribute, Operator.LE, value)
+
+    @staticmethod
+    def lt(attribute: str, value: Any) -> "Predicate":
+        """``attribute < value``."""
+        return Predicate(attribute, Operator.LT, value)
+
+    @staticmethod
+    def between(attribute: str, low: Any, high: Any) -> "Predicate":
+        """``low <= attribute <= high``."""
+        return Predicate(attribute, Operator.BETWEEN, (low, high))
+
+    @staticmethod
+    def any(attribute: str) -> "Predicate":
+        """Attribute is unconstrained (``*``)."""
+        return Predicate(attribute, Operator.ANY, None)
+
+    @staticmethod
+    def member_of(attribute: str, values: Sequence[Any]) -> "Predicate":
+        """Attribute is one of ``values`` (contiguous labels)."""
+        return Predicate(attribute, Operator.IN, tuple(values))
+
+    # ------------------------------------------------------------------
+    # Compilation to intervals
+    # ------------------------------------------------------------------
+    def to_interval(self, domain: AttributeDomain) -> Interval:
+        """Compile the predicate to a closed interval on ``domain``.
+
+        Strict comparisons on discrete domains shrink by one tick; on
+        continuous domains they are treated as their closed counterparts
+        (a measure-zero difference).
+        """
+        if self.operator is Operator.ANY:
+            return domain.full_interval()
+
+        if self.operator is Operator.IN:
+            if not isinstance(domain, CategoricalDomain):
+                raise ValidationError(
+                    f"IN predicate on {self.attribute!r} requires a categorical domain"
+                )
+            return domain.encode_members(list(self.value))
+
+        if self.operator is Operator.BETWEEN:
+            low, high = self.value
+            return domain.encode_interval(low, high)
+
+        encoded = domain.encode(self.value)
+        tick = 1.0 if domain.is_discrete else 0.0
+        if self.operator is Operator.EQ:
+            interval = Interval(encoded, encoded)
+        elif self.operator is Operator.GE:
+            interval = Interval(encoded, domain.upper_bound)
+        elif self.operator is Operator.GT:
+            interval = Interval(encoded + tick, domain.upper_bound)
+        elif self.operator is Operator.LE:
+            interval = Interval(domain.lower_bound, encoded)
+        elif self.operator is Operator.LT:
+            interval = Interval(domain.lower_bound, encoded - tick)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValidationError(f"unsupported operator {self.operator!r}")
+        clipped = domain.clip(interval)
+        if clipped.is_empty and not interval.is_empty and self.operator in (
+            Operator.GT,
+            Operator.LT,
+        ):
+            # A strict comparison pointing outside the domain selects nothing.
+            return Interval.empty()
+        return clipped
+
+    # ------------------------------------------------------------------
+    # Evaluation on concrete values
+    # ------------------------------------------------------------------
+    def matches(self, value: Any, domain: AttributeDomain) -> bool:
+        """Whether the external ``value`` satisfies the predicate."""
+        interval = self.to_interval(domain)
+        if interval.is_empty:
+            return False
+        return interval.contains(domain.encode(value))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable description of the predicate."""
+        value: Any = self.value
+        if isinstance(value, tuple):
+            value = list(value)
+        return {"attribute": self.attribute, "operator": self.operator.value, "value": value}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Predicate":
+        """Inverse of :meth:`to_dict`."""
+        operator = Operator(payload["operator"])
+        value = payload.get("value")
+        if operator in (Operator.BETWEEN, Operator.IN) and isinstance(value, list):
+            value = tuple(value)
+        return Predicate(payload["attribute"], operator, value)
+
+    def __str__(self) -> str:
+        if self.operator is Operator.ANY:
+            return f"{self.attribute} = *"
+        if self.operator is Operator.BETWEEN:
+            low, high = self.value
+            return f"{low!r} <= {self.attribute} <= {high!r}"
+        if self.operator is Operator.IN:
+            return f"{self.attribute} in {list(self.value)!r}"
+        symbol = {
+            Operator.EQ: "==",
+            Operator.GE: ">=",
+            Operator.GT: ">",
+            Operator.LE: "<=",
+            Operator.LT: "<",
+        }[self.operator]
+        return f"{self.attribute} {symbol} {self.value!r}"

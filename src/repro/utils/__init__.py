@@ -1,0 +1,21 @@
+"""Small shared utilities: random number handling, validation, timing."""
+
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "Stopwatch",
+    "ensure_rng",
+    "require",
+    "require_in_range",
+    "require_positive",
+    "require_probability",
+    "spawn_rngs",
+]

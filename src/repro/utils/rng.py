@@ -1,0 +1,50 @@
+"""Random-number helpers.
+
+Every stochastic component of the library (the RSPC point guesser, the
+workload generators, the broker simulator) accepts either a seed or a
+:class:`numpy.random.Generator` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["RandomSource", "ensure_rng", "spawn_rngs"]
+
+#: Anything that can act as a source of randomness.
+RandomSource = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(source: RandomSource = None) -> np.random.Generator:
+    """Coerce ``source`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a non-deterministic generator, an integer seeds a new
+    generator, and an existing generator is returned unchanged.
+    """
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, np.random.SeedSequence):
+        return np.random.default_rng(source)
+    return np.random.default_rng(source)
+
+
+def spawn_rngs(source: RandomSource, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from a single source.
+
+    Used to give each broker / workload stream its own stream without
+    cross-correlation, while keeping the whole experiment reproducible from
+    one seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(source, np.random.Generator):
+        seeds = source.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(seed)) for seed in seeds]
+    sequence = (
+        source
+        if isinstance(source, np.random.SeedSequence)
+        else np.random.SeedSequence(source)
+    )
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,56 @@
+"""Wall-clock timing helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """A tiny context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Stopwatch() as watch:
+    ...     sum(range(1000))
+    499500
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the last completed measurement."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

@@ -1,0 +1,55 @@
+"""Workload generators.
+
+Every subscription-generation scenario of the paper's evaluation
+(Section 6) is reproduced here, plus the two motivating domain workloads of
+Section 3 (the sensor-enriched bicycle rental system and Grid resource
+discovery) used by the examples.
+"""
+
+from repro.workloads.bike_rental import BikeRentalWorkload, bike_rental_schema
+from repro.workloads.comparison import ComparisonWorkload
+from repro.workloads.distributions import (
+    normal_width,
+    pareto_center,
+    zipf_weights,
+)
+from repro.workloads.generators import (
+    publication_inside,
+    random_publication,
+    random_subscription,
+    slab_partition,
+)
+from repro.workloads.grid import GridWorkload, grid_schema
+from repro.workloads.scenarios import (
+    ScenarioInstance,
+    ScenarioName,
+    generate_scenario,
+    no_intersection_scenario,
+    non_cover_scenario,
+    extreme_non_cover_scenario,
+    pairwise_covering_scenario,
+    redundant_covering_scenario,
+)
+
+__all__ = [
+    "BikeRentalWorkload",
+    "ComparisonWorkload",
+    "GridWorkload",
+    "ScenarioInstance",
+    "ScenarioName",
+    "bike_rental_schema",
+    "extreme_non_cover_scenario",
+    "generate_scenario",
+    "grid_schema",
+    "no_intersection_scenario",
+    "non_cover_scenario",
+    "normal_width",
+    "pairwise_covering_scenario",
+    "pareto_center",
+    "publication_inside",
+    "random_publication",
+    "random_subscription",
+    "redundant_covering_scenario",
+    "slab_partition",
+    "zipf_weights",
+]

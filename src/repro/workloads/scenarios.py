@@ -1,0 +1,673 @@
+"""Subscription-generation scenarios of the evaluation (Section 6).
+
+Each generator produces a :class:`ScenarioInstance` — a new subscription
+``s`` together with the pre-existing set ``S`` — engineered so that the
+instance falls in one of the paper's categories:
+
+=======================  =============================================
+Scenario                 Property of the instance
+=======================  =============================================
+``pairwise_covering``    some single ``s_i`` covers ``s`` (1.a)
+``redundant_covering``   ``S`` covers ``s`` jointly, never singly, and
+                         ~80 % of ``S`` is redundant (1.b)
+``no_intersection``      no ``s_i`` even intersects ``s`` (2.a)
+``non_cover``            ``S`` overlaps ``s`` heavily but leaves a gap
+                         on one attribute (2.b)
+``extreme_non_cover``    ``S`` covers everything except a narrow slice
+                         of controlled relative width (2.c)
+=======================  =============================================
+
+The generators follow the construction rules stated in the paper: every
+subscription is satisfiable, every ``s_i`` intersects ``s``, the ``s_i``
+overlap each other on most attributes, and no pair-wise subsumption exists
+in the "difficult" scenarios (so the classical baseline cannot reduce the
+set at all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.workloads.generators import (
+    expand_to_cover,
+    random_subscription,
+    random_subscription_intersecting,
+    slab_partition,
+)
+
+__all__ = [
+    "ScenarioName",
+    "ScenarioInstance",
+    "pairwise_covering_scenario",
+    "redundant_covering_scenario",
+    "no_intersection_scenario",
+    "non_cover_scenario",
+    "extreme_non_cover_scenario",
+    "generate_scenario",
+]
+
+
+class ScenarioName(str, Enum):
+    """The subscription-generation scenarios of Section 6."""
+
+    PAIRWISE_COVERING = "pairwise_covering"
+    REDUNDANT_COVERING = "redundant_covering"
+    NO_INTERSECTION = "no_intersection"
+    NON_COVER = "non_cover"
+    EXTREME_NON_COVER = "extreme_non_cover"
+
+
+@dataclass
+class ScenarioInstance:
+    """One generated instance of a subsumption question.
+
+    Attributes
+    ----------
+    subscription:
+        The new subscription ``s`` whose coverage is to be decided.
+    candidates:
+        The existing subscription set ``S``.
+    expected_covered:
+        Ground-truth answer by construction (``None`` when unknown).
+    redundant_ids:
+        Identifiers of the candidates that are redundant for the cover
+        decision (used to measure the MCS reduction of Figures 6 and 8).
+    metadata:
+        Scenario-specific parameters (gap fraction, covering-group size…).
+    """
+
+    subscription: Subscription
+    candidates: List[Subscription]
+    expected_covered: Optional[bool]
+    redundant_ids: Tuple[str, ...] = ()
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Number of candidate subscriptions."""
+        return len(self.candidates)
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _base_subscription(
+    schema: Schema, rng: np.random.Generator
+) -> Subscription:
+    """A moderately sized subscription used as the tested ``s``."""
+    return random_subscription(schema, rng, width_fraction=(0.15, 0.35))
+
+
+def _avoid_full_cover(
+    candidate: Subscription,
+    reference: Subscription,
+    rng: np.random.Generator,
+) -> Subscription:
+    """Ensure ``candidate`` does not pair-wise cover ``reference``.
+
+    When it accidentally does, its first-attribute range is replaced by a
+    strict sub-range of the reference so the candidate only partly covers
+    it (keeping the instance free of pair-wise subsumption).
+    """
+    if not candidate.covers(reference):
+        return candidate
+    schema = reference.schema
+    domain = schema.domain(0)
+    interval = reference.interval(0)
+    span = interval.high - interval.low
+    if span <= (1.0 if domain.is_discrete else 1e-9):
+        # Degenerate reference range; shrink on another attribute instead.
+        for attribute in range(1, schema.m):
+            interval = reference.interval(attribute)
+            span = interval.high - interval.low
+            if span > (1.0 if schema.domain(attribute).is_discrete else 1e-9):
+                return _shrink_on_attribute(candidate, reference, attribute, rng)
+        return candidate
+    return _shrink_on_attribute(candidate, reference, 0, rng)
+
+
+def _shrink_on_attribute(
+    candidate: Subscription,
+    reference: Subscription,
+    attribute: int,
+    rng: np.random.Generator,
+) -> Subscription:
+    domain = reference.schema.domain(attribute)
+    interval = reference.interval(attribute)
+    span = interval.high - interval.low
+    cut = span * float(rng.uniform(0.2, 0.6))
+    lows = candidate.lows.copy()
+    highs = candidate.highs.copy()
+    if rng.random() < 0.5:
+        highs[attribute] = interval.high - cut
+        lows[attribute] = min(lows[attribute], highs[attribute])
+    else:
+        lows[attribute] = interval.low + cut
+        highs[attribute] = max(highs[attribute], lows[attribute])
+    if domain.is_discrete:
+        lows[attribute] = math.floor(lows[attribute])
+        highs[attribute] = math.ceil(highs[attribute])
+    return Subscription(candidate.schema, lows, highs)
+
+
+# ----------------------------------------------------------------------
+# Scenario 1.a — pair-wise covering
+# ----------------------------------------------------------------------
+def pairwise_covering_scenario(
+    schema: Schema,
+    k: int,
+    rng: RandomSource = None,
+) -> ScenarioInstance:
+    """``s`` is entirely covered by at least one single candidate."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    generator = ensure_rng(rng)
+    subscription = _base_subscription(schema, generator)
+    coverer = expand_to_cover(subscription, margin_fraction=0.05)
+    others = [
+        random_subscription_intersecting(subscription, generator)
+        for _ in range(k - 1)
+    ]
+    candidates = others + [coverer]
+    positions = generator.permutation(len(candidates))
+    candidates = [candidates[i] for i in positions]
+    return ScenarioInstance(
+        subscription=subscription,
+        candidates=candidates,
+        expected_covered=True,
+        redundant_ids=tuple(c.id for c in candidates if c.id != coverer.id),
+        metadata={"scenario": ScenarioName.PAIRWISE_COVERING.value},
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario 1.b — redundant covering
+# ----------------------------------------------------------------------
+def redundant_covering_scenario(
+    schema: Schema,
+    k: int,
+    rng: RandomSource = None,
+    covering_fraction: float = 0.2,
+    slab_overlap_fraction: float = 0.02,
+    one_sided_fraction: float = 1.0,
+    contrarian_probability: float = 0.02,
+) -> ScenarioInstance:
+    """``S`` covers ``s`` jointly (never singly); ~80 % of ``S`` is redundant.
+
+    The first ``covering_fraction`` of the candidates partition ``s`` into
+    slabs along the first attribute (each covering ``s`` completely on all
+    other attributes), so their union covers ``s`` but none does so alone.
+
+    The remaining candidates only partly cover ``s`` and are therefore
+    redundant for the cover decision — exactly the setting of Figure 6.
+    Following the paper's "similar but not equal interests" motivation, a
+    fraction ``one_sided_fraction`` of the redundant subscriptions differ
+    from ``s`` along a single non-covering attribute only (they cover ``s``
+    on every other attribute but stop short on one side of that attribute,
+    the side being shared by subscribers interested in the same attribute),
+    while the rest are unstructured partial overlaps of ``s``.  With
+    probability ``contrarian_probability`` a one-sided subscription uses the
+    *opposite* side of its attribute, which makes some conflict-table
+    entries conflict and keeps the MCS reduction below 100 %, reproducing
+    the 80–100 % band of Figure 6.
+    """
+    if k < 2:
+        raise ValueError("the redundant covering scenario needs k >= 2")
+    generator = ensure_rng(rng)
+    subscription = _base_subscription(schema, generator)
+
+    covering_count = max(2, int(round(covering_fraction * k)))
+    covering_count = min(covering_count, k)
+    slabs = slab_partition(subscription, covering_count, attribute=0)
+    covering: List[Subscription] = []
+    domain0 = schema.domain(0)
+    span0 = subscription.interval(0).span
+    overlap = span0 * slab_overlap_fraction
+    for slab in slabs:
+        lows = slab.lows.copy()
+        highs = slab.highs.copy()
+        # Small overlap between neighbouring slabs and a small margin on the
+        # other attributes make the covering group look like organic,
+        # similar-interest subscriptions rather than an exact partition.
+        lows[0] = max(domain0.lower_bound, lows[0] - overlap)
+        highs[0] = min(domain0.upper_bound, highs[0] + overlap)
+        for attribute in range(1, schema.m):
+            domain = schema.domain(attribute)
+            extent = domain.upper_bound - domain.lower_bound
+            margin = extent * 0.01
+            lows[attribute] = max(domain.lower_bound, lows[attribute] - margin)
+            highs[attribute] = min(domain.upper_bound, highs[attribute] + margin)
+        if domain0.is_discrete:
+            lows[0] = math.floor(lows[0])
+            highs[0] = math.ceil(highs[0])
+        covering.append(Subscription(schema, lows, highs))
+
+    # Per-instance choice of which side the one-sided subscribers of each
+    # attribute share (e.g. everybody interested in "price" asks for
+    # "price <= c", everybody interested in "date" for "date >= d").
+    shared_side_is_lower = generator.random(schema.m) < 0.5
+
+    redundant: List[Subscription] = []
+    for _ in range(k - len(covering)):
+        if schema.m > 1 and generator.random() < one_sided_fraction:
+            sides = shared_side_is_lower
+            if generator.random() < contrarian_probability:
+                sides = ~shared_side_is_lower
+            candidate = _one_sided_partial_cover(subscription, sides, generator)
+        else:
+            candidate = random_subscription_intersecting(
+                subscription, generator, cover_probability=0.5
+            )
+            candidate = _avoid_full_cover(candidate, subscription, generator)
+        redundant.append(candidate)
+
+    candidates = covering + redundant
+    return ScenarioInstance(
+        subscription=subscription,
+        candidates=candidates,
+        expected_covered=True,
+        redundant_ids=tuple(c.id for c in redundant),
+        metadata={
+            "scenario": ScenarioName.REDUNDANT_COVERING.value,
+            "covering_count": len(covering),
+            "redundant_count": len(redundant),
+        },
+    )
+
+
+def _one_sided_partial_cover(
+    reference: Subscription,
+    shared_side_is_lower: np.ndarray,
+    rng: np.random.Generator,
+) -> Subscription:
+    """A candidate covering ``reference`` on all attributes but one.
+
+    On the chosen attribute (never the first one, which carries the
+    covering slabs) the candidate keeps only the lower or upper part of the
+    reference's range; the side is shared by every one-sided candidate of
+    that attribute so that their conflict-table entries do not conflict
+    with each other.
+    """
+    schema = reference.schema
+    attribute = int(rng.integers(1, schema.m))
+    domain = schema.domain(attribute)
+    interval = reference.interval(attribute)
+    span = interval.high - interval.low
+    cut = interval.low + span * float(rng.uniform(0.2, 0.8))
+    if domain.is_discrete:
+        cut = float(round(cut))
+
+    lows = reference.lows.copy()
+    highs = reference.highs.copy()
+    for other in range(schema.m):
+        if other == attribute:
+            continue
+        other_domain = schema.domain(other)
+        extent = other_domain.upper_bound - other_domain.lower_bound
+        margin = extent * float(rng.uniform(0.0, 0.02))
+        lows[other] = max(other_domain.lower_bound, lows[other] - margin)
+        highs[other] = min(other_domain.upper_bound, highs[other] + margin)
+
+    tick = 1.0 if domain.is_discrete else max(span * 1e-9, 1e-12)
+    if shared_side_is_lower[attribute]:
+        highs[attribute] = min(cut, interval.high - tick)
+        lows[attribute] = max(domain.lower_bound, interval.low - span * 0.02)
+    else:
+        lows[attribute] = max(cut, interval.low + tick)
+        highs[attribute] = min(domain.upper_bound, interval.high + span * 0.02)
+    if domain.is_discrete:
+        lows[attribute] = math.floor(lows[attribute])
+        highs[attribute] = math.ceil(highs[attribute])
+    if lows[attribute] > highs[attribute]:
+        lows[attribute] = highs[attribute]
+    return Subscription(schema, lows, highs)
+
+
+# ----------------------------------------------------------------------
+# Scenario 2.a — no intersection
+# ----------------------------------------------------------------------
+def no_intersection_scenario(
+    schema: Schema,
+    k: int,
+    rng: RandomSource = None,
+) -> ScenarioInstance:
+    """No candidate intersects ``s`` at all."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    generator = ensure_rng(rng)
+    subscription = _base_subscription(schema, generator)
+
+    candidates: List[Subscription] = []
+    for _ in range(k):
+        candidate = random_subscription_intersecting(subscription, generator)
+        attribute = int(generator.integers(0, schema.m))
+        candidate = _push_outside(candidate, subscription, attribute, generator)
+        candidates.append(candidate)
+    return ScenarioInstance(
+        subscription=subscription,
+        candidates=candidates,
+        expected_covered=False,
+        redundant_ids=tuple(c.id for c in candidates),
+        metadata={"scenario": ScenarioName.NO_INTERSECTION.value},
+    )
+
+
+def _push_outside(
+    candidate: Subscription,
+    reference: Subscription,
+    attribute: int,
+    rng: np.random.Generator,
+) -> Subscription:
+    """Move ``candidate`` fully outside ``reference`` on one attribute."""
+    schema = reference.schema
+    domain = schema.domain(attribute)
+    ref = reference.interval(attribute)
+    tick = 1.0 if domain.is_discrete else max(
+        (domain.upper_bound - domain.lower_bound) * 1e-6, 1e-9
+    )
+    room_below = ref.low - domain.lower_bound
+    room_above = domain.upper_bound - ref.high
+    lows = candidate.lows.copy()
+    highs = candidate.highs.copy()
+    go_below = room_below >= room_above
+    if go_below and room_below > tick:
+        high = ref.low - tick
+        low = max(domain.lower_bound, high - room_below * float(rng.uniform(0.2, 0.8)))
+    elif room_above > tick:
+        low = ref.high + tick
+        high = min(domain.upper_bound, low + room_above * float(rng.uniform(0.2, 0.8)))
+    else:
+        # The reference spans (almost) the whole domain on this attribute;
+        # fall back to the other side even if the slice is a single point.
+        if room_below >= tick:
+            low = domain.lower_bound
+            high = ref.low - tick
+        else:
+            low = ref.high + tick
+            high = domain.upper_bound
+    if domain.is_discrete:
+        low = math.ceil(low)
+        high = math.floor(high)
+    low = min(max(low, domain.lower_bound), domain.upper_bound)
+    high = min(max(high, low), domain.upper_bound)
+    lows[attribute] = low
+    highs[attribute] = high
+    return Subscription(schema, lows, highs)
+
+
+# ----------------------------------------------------------------------
+# Scenario 2.b — non-cover with a forced gap
+# ----------------------------------------------------------------------
+def non_cover_scenario(
+    schema: Schema,
+    k: int,
+    rng: RandomSource = None,
+    gap_fraction: Optional[float] = None,
+    cover_probability: float = 0.7,
+) -> ScenarioInstance:
+    """``S`` overlaps ``s`` on many attributes but leaves a gap on one.
+
+    A slice of ``s`` on the first attribute (``gap_fraction`` of its span,
+    random in ``[0.05, 0.2]`` when not given) is kept clear of every
+    candidate, so ``s`` is never covered; everything else is generated to
+    overlap heavily, which is the difficult setting of Figures 8–10.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    generator = ensure_rng(rng)
+    subscription = _base_subscription(schema, generator)
+    fraction = (
+        float(generator.uniform(0.05, 0.2)) if gap_fraction is None else gap_fraction
+    )
+    gap_low, gap_high = _carve_gap(subscription, 0, fraction, generator)
+
+    candidates: List[Subscription] = []
+    for _ in range(k):
+        candidate = random_subscription_intersecting(
+            subscription, generator, cover_probability=cover_probability
+        )
+        candidate = _avoid_gap(candidate, subscription, 0, gap_low, gap_high, generator)
+        candidate = _avoid_full_cover(candidate, subscription, generator)
+        candidates.append(candidate)
+
+    return ScenarioInstance(
+        subscription=subscription,
+        candidates=candidates,
+        expected_covered=False,
+        redundant_ids=tuple(c.id for c in candidates),
+        metadata={
+            "scenario": ScenarioName.NON_COVER.value,
+            "gap_fraction": fraction,
+            "gap": (gap_low, gap_high),
+        },
+    )
+
+
+def _carve_gap(
+    subscription: Subscription,
+    attribute: int,
+    fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[float, float]:
+    """Choose a gap strictly inside ``s``'s range on ``attribute``."""
+    domain = subscription.schema.domain(attribute)
+    interval = subscription.interval(attribute)
+    span = interval.high - interval.low
+    width = max(span * fraction, 1.0 if domain.is_discrete else span * 1e-6)
+    margin = max(span * 0.05, 1.0 if domain.is_discrete else span * 1e-6)
+    start_low = interval.low + margin
+    start_high = max(interval.high - margin - width, start_low)
+    gap_low = float(rng.uniform(start_low, start_high))
+    gap_high = gap_low + width
+    if domain.is_discrete:
+        gap_low = math.floor(gap_low)
+        gap_high = math.ceil(gap_high)
+        gap_high = max(gap_high, gap_low)
+    gap_high = min(gap_high, interval.high - (1.0 if domain.is_discrete else 0.0))
+    gap_low = max(gap_low, interval.low + (1.0 if domain.is_discrete else 0.0))
+    if gap_low > gap_high:
+        gap_low = gap_high
+    return gap_low, gap_high
+
+
+def _avoid_gap(
+    candidate: Subscription,
+    reference: Subscription,
+    attribute: int,
+    gap_low: float,
+    gap_high: float,
+    rng: np.random.Generator,
+) -> Subscription:
+    """Clip ``candidate`` so it stays clear of the gap on ``attribute``."""
+    schema = reference.schema
+    domain = schema.domain(attribute)
+    ref = reference.interval(attribute)
+    tick = 1.0 if domain.is_discrete else max(
+        (domain.upper_bound - domain.lower_bound) * 1e-9, 1e-12
+    )
+    lows = candidate.lows.copy()
+    highs = candidate.highs.copy()
+    left_room = gap_low - tick >= ref.low
+    right_room = gap_high + tick <= ref.high
+    go_left = left_room and (not right_room or rng.random() < 0.5)
+    if go_left:
+        low = min(lows[attribute], ref.low)
+        high = gap_low - tick
+        low = min(low, high)
+    else:
+        low = gap_high + tick
+        high = max(highs[attribute], ref.high)
+        high = max(high, low)
+    if domain.is_discrete:
+        low = math.floor(low)
+        high = math.ceil(high)
+    low = max(low, domain.lower_bound)
+    high = min(high, domain.upper_bound)
+    if low > high:
+        low = high
+    lows[attribute] = low
+    highs[attribute] = high
+    return Subscription(schema, lows, highs)
+
+
+# ----------------------------------------------------------------------
+# Scenario 2.c — extreme non-cover
+# ----------------------------------------------------------------------
+def extreme_non_cover_scenario(
+    schema: Schema,
+    k: int,
+    gap_fraction: float,
+    rng: RandomSource = None,
+) -> ScenarioInstance:
+    """``S`` covers ``s`` entirely except a narrow slice on one attribute.
+
+    ``gap_fraction`` is the width of the uncovered slice relative to ``s``'s
+    span on the gap attribute (0.5 %–4.5 % in Figures 11 and 12).  The
+    candidates *tile* the part of ``s`` left of the gap and the part right
+    of it (with small random overlaps between neighbouring tiles), and each
+    covers ``s`` completely on every other attribute.  As in the paper, the
+    candidates intersect ``s`` and (within each side) intersect each other,
+    no pair-wise subsumption exists, and — because neighbouring tiles make
+    every conflict-table entry conflict with another one — the MCS
+    reduction cannot discard any candidate, so the probabilistic RSPC test
+    is genuinely exercised and may produce false "covered" decisions when
+    the gap is small (exactly the Figure 11/12 setting).
+    """
+    if k < 4:
+        raise ValueError("the extreme non-cover scenario needs k >= 4")
+    if not 0.0 < gap_fraction < 1.0:
+        raise ValueError("gap_fraction must be in (0, 1)")
+    generator = ensure_rng(rng)
+    subscription = _base_subscription(schema, generator)
+    gap_low, gap_high = _carve_gap(subscription, 0, gap_fraction, generator)
+
+    domain0 = schema.domain(0)
+    tick = 1.0 if domain0.is_discrete else max(
+        (domain0.upper_bound - domain0.lower_bound) * 1e-9, 1e-12
+    )
+    ref0 = subscription.interval(0)
+
+    def _wide_on_other_attributes() -> Tuple[np.ndarray, np.ndarray]:
+        lows = subscription.lows.copy()
+        highs = subscription.highs.copy()
+        for attribute in range(1, schema.m):
+            domain = schema.domain(attribute)
+            extent = domain.upper_bound - domain.lower_bound
+            margin = extent * float(generator.uniform(0.0, 0.02))
+            lows[attribute] = max(domain.lower_bound, lows[attribute] - margin)
+            highs[attribute] = min(domain.upper_bound, highs[attribute] + margin)
+        return lows, highs
+
+    def _tile_region(region_low: float, region_high: float, pieces: int) -> List[Tuple[float, float]]:
+        """Contiguous (slightly overlapping) tiles of [region_low, region_high]."""
+        if region_low > region_high or pieces < 1:
+            return []
+        if domain0.is_discrete:
+            total = int(region_high - region_low) + 1
+            pieces = max(1, min(pieces, total))
+            base, extra = divmod(total, pieces)
+            tiles = []
+            low = region_low
+            for index in range(pieces):
+                size = base + (1 if index < extra else 0)
+                high = low + size - 1
+                tiles.append((low, high))
+                low = high + 1
+        else:
+            span = region_high - region_low
+            edges = [region_low + span * i / pieces for i in range(pieces + 1)]
+            tiles = [(edges[i], edges[i + 1]) for i in range(pieces)]
+        # Small random overlap with the neighbouring tile (never into the gap
+        # or outside the region).
+        overlapped = []
+        span = region_high - region_low
+        for low, high in tiles:
+            stretch = span * float(generator.uniform(0.0, 0.02))
+            new_low = max(region_low, low - stretch)
+            new_high = min(region_high, high + stretch)
+            if domain0.is_discrete:
+                new_low = math.floor(new_low)
+                new_high = math.ceil(new_high)
+                new_low = max(new_low, region_low)
+                new_high = min(new_high, region_high)
+            overlapped.append((new_low, new_high))
+        return overlapped
+
+    left_low, left_high = ref0.low, gap_low - tick
+    right_low, right_high = gap_high + tick, ref0.high
+    if domain0.is_discrete:
+        left_high = math.floor(left_high)
+        right_low = math.ceil(right_low)
+
+    n_left = k // 2
+    n_right = k - n_left
+    tiles = [
+        (low, high, "left") for low, high in _tile_region(left_low, left_high, n_left)
+    ] + [
+        (low, high, "right")
+        for low, high in _tile_region(right_low, right_high, n_right)
+    ]
+
+    candidates: List[Subscription] = []
+    for low, high, _side in tiles:
+        lows, highs = _wide_on_other_attributes()
+        lows[0] = low
+        highs[0] = max(high, low)
+        candidates.append(Subscription(schema, lows, highs))
+
+    # Discrete regions narrower than the requested tile count yield fewer
+    # tiles; pad with duplicated random tiles so the instance has exactly k
+    # candidates (the duplicates are redundant but harmless).
+    while len(candidates) < k and tiles:
+        low, high, _side = tiles[int(generator.integers(0, len(tiles)))]
+        lows, highs = _wide_on_other_attributes()
+        lows[0] = low
+        highs[0] = max(high, low)
+        candidates.append(Subscription(schema, lows, highs))
+
+    positions = generator.permutation(len(candidates))
+    candidates = [candidates[i] for i in positions]
+    return ScenarioInstance(
+        subscription=subscription,
+        candidates=candidates,
+        expected_covered=False,
+        redundant_ids=tuple(c.id for c in candidates),
+        metadata={
+            "scenario": ScenarioName.EXTREME_NON_COVER.value,
+            "gap_fraction": gap_fraction,
+            "gap": (gap_low, gap_high),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def generate_scenario(
+    name: ScenarioName,
+    schema: Schema,
+    k: int,
+    rng: RandomSource = None,
+    **kwargs: Any,
+) -> ScenarioInstance:
+    """Generate an instance of the named scenario."""
+    name = ScenarioName(name)
+    if name is ScenarioName.PAIRWISE_COVERING:
+        return pairwise_covering_scenario(schema, k, rng)
+    if name is ScenarioName.REDUNDANT_COVERING:
+        return redundant_covering_scenario(schema, k, rng, **kwargs)
+    if name is ScenarioName.NO_INTERSECTION:
+        return no_intersection_scenario(schema, k, rng)
+    if name is ScenarioName.NON_COVER:
+        return non_cover_scenario(schema, k, rng, **kwargs)
+    if name is ScenarioName.EXTREME_NON_COVER:
+        return extreme_non_cover_scenario(schema, k, rng=rng, **kwargs)
+    raise ValueError(f"unknown scenario {name!r}")  # pragma: no cover

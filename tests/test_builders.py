@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.model.builders`."""
+
+import pytest
+
+from repro.model import (
+    CategoricalDomain,
+    IntegerDomain,
+    Schema,
+    SubscriptionBuilder,
+)
+from repro.model.errors import ValidationError
+from repro.model.intervals import Interval
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            ("price", IntegerDomain(0, 1000)),
+            ("brand", CategoricalDomain(["X", "Y", "Z"])),
+            ("stock", IntegerDomain(0, 50)),
+        ]
+    )
+
+
+class TestBuilder:
+    def test_between_and_equals(self, schema):
+        subscription = (
+            SubscriptionBuilder(schema, subscriber="alice")
+            .between("price", 100, 200)
+            .equals("brand", "Y")
+            .build()
+        )
+        assert subscription.interval("price") == Interval(100, 200)
+        assert subscription.interval("brand") == Interval(1, 1)
+        assert subscription.interval("stock") == Interval(0, 50)
+        assert subscription.subscriber == "alice"
+
+    def test_at_least_at_most(self, schema):
+        subscription = (
+            SubscriptionBuilder(schema)
+            .at_least("price", 500)
+            .at_most("stock", 10)
+            .build()
+        )
+        assert subscription.interval("price") == Interval(500, 1000)
+        assert subscription.interval("stock") == Interval(0, 10)
+
+    def test_constraints_on_same_attribute_intersect(self, schema):
+        subscription = (
+            SubscriptionBuilder(schema)
+            .at_least("price", 100)
+            .at_most("price", 300)
+            .between("price", 0, 250)
+            .build()
+        )
+        assert subscription.interval("price") == Interval(100, 250)
+
+    def test_unsatisfiable_conjunction_rejected(self, schema):
+        builder = SubscriptionBuilder(schema).at_least("price", 500)
+        with pytest.raises(ValidationError):
+            builder.at_most("price", 100)
+
+    def test_one_of_contiguous_labels(self, schema):
+        subscription = SubscriptionBuilder(schema).one_of("brand", ["X", "Y"]).build()
+        assert subscription.interval("brand") == Interval(0, 1)
+
+    def test_one_of_requires_categorical(self, schema):
+        with pytest.raises(ValidationError):
+            SubscriptionBuilder(schema).one_of("price", [1, 2])
+
+    def test_any_resets_nothing(self, schema):
+        subscription = SubscriptionBuilder(schema).any("price").build()
+        assert not subscription.constrains("price")
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            SubscriptionBuilder(schema).equals("colour", "red")
+
+    def test_metadata_and_id(self, schema):
+        subscription = (
+            SubscriptionBuilder(schema, subscription_id="special")
+            .with_metadata(channel="email")
+            .build()
+        )
+        assert subscription.id == "special"
+        assert subscription.metadata == {"channel": "email"}
+
+    def test_builder_matches_table1_example(self):
+        """The s1 subscription of Table 1 expressed through the builder."""
+        from repro.workloads.bike_rental import bike_rental_schema
+
+        schema = bike_rental_schema()
+        subscription = (
+            SubscriptionBuilder(schema, subscriber="lady-biker")
+            .between("bID", 1000, 1999)
+            .equals("size", 19)
+            .equals("brand", "X")
+            .between("rpID", 820, 840)
+            .between("date", "2006-03-31T16:00:00", "2006-03-31T20:00:00")
+            .build()
+        )
+        assert subscription.constrains("bID")
+        assert subscription.constrains("date")
+        assert subscription.interval("size").is_point

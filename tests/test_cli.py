@@ -1,0 +1,78 @@
+"""Tests for the experiment command-line interface."""
+
+import os
+
+import pytest
+
+from repro.experiments.cli import available_targets, main
+
+
+class TestTargets:
+    def test_available_targets_include_all_figures(self):
+        targets = available_targets()
+        for figure in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                       "fig13", "fig14", "eq2", "all"):
+            assert figure in targets
+
+
+class TestMain:
+    def test_runs_single_figure(self, capsys, monkeypatch):
+        self._shrink_configs(monkeypatch)
+        assert main(["fig6"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 6" in output
+        assert "Figure 8" not in output
+
+    def test_runs_chain_experiment_by_name(self, capsys, monkeypatch):
+        self._shrink_configs(monkeypatch)
+        assert main(["chain"]) == 0
+        output = capsys.readouterr().out
+        assert "Eq. 2" in output
+
+    def test_writes_csv(self, capsys, monkeypatch, tmp_path):
+        self._shrink_configs(monkeypatch)
+        directory = str(tmp_path / "csv")
+        assert main(["eq2", "--csv", directory]) == 0
+        assert os.path.exists(os.path.join(directory, "eq2.csv"))
+        contents = open(os.path.join(directory, "eq2.csv")).read()
+        assert contents.startswith("brokers,")
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+
+    @staticmethod
+    def _shrink_configs(monkeypatch):
+        """Swap every default config for its smoke preset to keep tests fast."""
+        from repro.experiments import cli
+        from repro.experiments.config import (
+            ChainConfig,
+            ComparisonConfig,
+            ExtremeNonCoverConfig,
+            NonCoverConfig,
+            RedundantCoveringConfig,
+        )
+
+        smoke_map = {
+            RedundantCoveringConfig: RedundantCoveringConfig.smoke,
+            NonCoverConfig: NonCoverConfig.smoke,
+            ExtremeNonCoverConfig: ExtremeNonCoverConfig.smoke,
+            ComparisonConfig: ComparisonConfig.smoke,
+            ChainConfig: ChainConfig.smoke,
+        }
+        patched = {}
+        for name, (runner, config_class, figures) in cli._RUNNERS.items():
+            smoke_factory = smoke_map[config_class]
+
+            class _Proxy:  # pragma: no cover - trivial shim
+                def __init__(self, factory):
+                    self._factory = factory
+
+                def __call__(self):
+                    return self._factory()
+
+                def paper(self):
+                    return self._factory()
+
+            patched[name] = (runner, _Proxy(smoke_factory), figures)
+        monkeypatch.setattr(cli, "_RUNNERS", patched)

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.matching.cover_index`."""
+
+import pytest
+
+from repro.matching.cover_index import CoverForest
+from repro.model import Publication, Schema, Subscription
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform_integer(2, 0, 100)
+
+
+@pytest.fixture
+def forest(schema):
+    forest = CoverForest()
+    root = Subscription.from_constraints(
+        schema, {"x1": (0, 50), "x2": (0, 50)}, subscription_id="root"
+    )
+    child = Subscription.from_constraints(
+        schema, {"x1": (10, 30), "x2": (10, 30)}, subscription_id="child"
+    )
+    grandchild = Subscription.from_constraints(
+        schema, {"x1": (15, 20), "x2": (15, 20)}, subscription_id="grandchild"
+    )
+    forest.add_root(root)
+    forest.add_covered(child, "root")
+    forest.add_covered(grandchild, "child")
+    return forest
+
+
+class TestStructure:
+    def test_membership_and_depth(self, forest):
+        assert "root" in forest and "grandchild" in forest
+        assert forest.depth("root") == 0
+        assert forest.depth("child") == 1
+        assert forest.depth("grandchild") == 2
+        assert len(forest) == 3
+
+    def test_depth_of_unknown_raises(self, forest):
+        with pytest.raises(KeyError):
+            forest.depth("ghost")
+
+    def test_duplicate_insert_rejected(self, forest, schema):
+        with pytest.raises(ValueError):
+            forest.add_root(
+                Subscription.from_constraints(schema, {}, subscription_id="root")
+            )
+
+    def test_unknown_coverer_rejected(self, forest, schema):
+        orphan = Subscription.from_constraints(schema, {}, subscription_id="orphan")
+        with pytest.raises(KeyError):
+            forest.add_covered(orphan, "ghost")
+
+    def test_roots_view(self, forest):
+        assert [s.id for s in forest.roots] == ["root"]
+
+
+class TestReparentAndRemove:
+    def test_reparent_moves_whole_subtree(self, forest, schema):
+        big = Subscription.from_constraints(
+            schema, {"x1": (0, 90), "x2": (0, 90)}, subscription_id="big"
+        )
+        forest.add_root(big)
+        forest.reparent("root", "big")
+        assert forest.depth("root") == 1
+        assert forest.depth("grandchild") == 3
+
+    def test_reparent_to_root(self, forest):
+        forest.reparent("child", None)
+        assert forest.depth("child") == 0
+        assert forest.depth("grandchild") == 1
+        assert {s.id for s in forest.roots} == {"root", "child"}
+
+    def test_reparent_unknown_raises(self, forest):
+        with pytest.raises(KeyError):
+            forest.reparent("ghost", "root")
+        with pytest.raises(KeyError):
+            forest.reparent("child", "ghost")
+
+    def test_remove_returns_direct_children(self, forest):
+        orphans = forest.remove("child")
+        assert [s.id for s in orphans] == ["grandchild"]
+        assert "child" not in forest
+        assert "grandchild" not in forest
+
+    def test_remove_unknown_is_noop(self, forest):
+        assert forest.remove("ghost") == ()
+
+
+class TestMatching:
+    def test_match_descends_only_into_matching_subtrees(self, forest, schema):
+        inside_all = Publication.from_values(schema, {"x1": 18, "x2": 18})
+        matched, tests = forest.match(inside_all)
+        assert {s.id for s in matched} == {"root", "child", "grandchild"}
+        assert tests == 3
+
+        only_root = Publication.from_values(schema, {"x1": 40, "x2": 40})
+        matched, tests = forest.match(only_root)
+        assert {s.id for s in matched} == {"root"}
+        assert tests == 2  # root + child; grandchild pruned
+
+        nothing = Publication.from_values(schema, {"x1": 90, "x2": 90})
+        matched, tests = forest.match(nothing)
+        assert matched == []
+        assert tests == 1
+
+    def test_match_below_given_roots(self, forest, schema):
+        publication = Publication.from_values(schema, {"x1": 18, "x2": 18})
+        matched, tests = forest.match_below(publication, ["root"])
+        assert {s.id for s in matched} == {"child", "grandchild"}
+        assert tests == 2
+
+    def test_match_below_ignores_unknown_roots(self, forest, schema):
+        publication = Publication.from_values(schema, {"x1": 18, "x2": 18})
+        matched, tests = forest.match_below(publication, ["ghost"])
+        assert matched == [] and tests == 0

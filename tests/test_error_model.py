@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.core.error_model` (Eq. 1 and Eq. 2)."""
+
+import math
+
+import pytest
+
+from repro.core.error_model import (
+    chain_delivery_probability,
+    compute_required_iterations,
+    effective_error,
+    error_probability,
+    required_iterations,
+)
+
+
+class TestErrorProbability:
+    def test_matches_closed_form(self):
+        assert error_probability(0.1, 10) == pytest.approx(0.9**10)
+
+    def test_zero_rho_never_learns(self):
+        assert error_probability(0.0, 1000) == 1.0
+
+    def test_rho_one_is_certain_after_one_trial(self):
+        assert error_probability(1.0, 1) == 0.0
+        assert error_probability(1.0, 0) == 1.0
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            error_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            error_probability(0.5, -1)
+
+    def test_monotone_in_iterations(self):
+        assert error_probability(0.2, 5) > error_probability(0.2, 50)
+
+
+class TestRequiredIterations:
+    def test_inverts_the_bound(self):
+        d = required_iterations(1e-6, 0.05)
+        assert error_probability(0.05, d) <= 1e-6
+        assert error_probability(0.05, d - 1) > 1e-6
+
+    def test_increases_as_delta_decreases(self):
+        assert required_iterations(1e-10, 0.01) > required_iterations(1e-3, 0.01)
+
+    def test_increases_as_rho_decreases(self):
+        assert required_iterations(1e-6, 0.001) > required_iterations(1e-6, 0.1)
+
+    def test_extreme_rho_values(self):
+        assert required_iterations(1e-6, 1.0) == 1.0
+        assert math.isinf(required_iterations(1e-6, 0.0))
+
+    def test_tiny_rho_does_not_crash(self):
+        d = required_iterations(1e-10, 1e-60)
+        assert d > 1e59
+        assert math.isfinite(d)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            required_iterations(0.0, 0.5)
+        with pytest.raises(ValueError):
+            required_iterations(1.0, 0.5)
+
+    def test_compute_required_iterations_caps(self):
+        assert compute_required_iterations(1e-10, 1e-9, max_iterations=500) == 500
+        assert compute_required_iterations(0.5, 0.5, max_iterations=500) == 1
+
+    def test_effective_error_degenerate(self):
+        assert effective_error(0.0, 100) == 1.0
+        assert effective_error(0.5, 2) == pytest.approx(0.25)
+
+
+class TestChainDelivery:
+    def test_single_broker_is_rho(self):
+        assert chain_delivery_probability(0.3, 0.1, 1) == pytest.approx(0.3)
+
+    def test_matches_equation_two(self):
+        rho, delta, n = 0.2, 0.05, 4
+        expected = sum(
+            rho * ((1 - rho) * (1 - delta)) ** (i - 1) for i in range(1, n + 1)
+        )
+        assert chain_delivery_probability(rho, delta, n) == pytest.approx(expected)
+
+    def test_perfect_decisions_approach_one(self):
+        value = chain_delivery_probability(0.25, 0.0, 200)
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone_in_chain_length(self):
+        short = chain_delivery_probability(0.1, 0.1, 2)
+        long = chain_delivery_probability(0.1, 0.1, 20)
+        assert long > short
+
+    def test_monotone_in_delta(self):
+        good = chain_delivery_probability(0.1, 0.01, 10)
+        bad = chain_delivery_probability(0.1, 0.5, 10)
+        assert good > bad
+
+    def test_bounded_by_one(self):
+        assert chain_delivery_probability(0.9, 0.0, 100) <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chain_delivery_probability(0.5, 0.5, 0)
+        with pytest.raises(ValueError):
+            chain_delivery_probability(1.5, 0.5, 2)
+        with pytest.raises(ValueError):
+            chain_delivery_probability(0.5, -0.1, 2)

@@ -1,0 +1,96 @@
+"""Unit tests for the counting and selectivity matching indexes."""
+
+import numpy as np
+import pytest
+
+from repro.matching.counting_index import CountingIndex
+from repro.matching.selectivity_index import SelectivityIndex
+from repro.model import Publication, Schema, Subscription
+from repro.model.errors import ValidationError
+from repro.workloads.generators import random_publication, random_subscription
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform_integer(3, 0, 100)
+
+
+@pytest.fixture
+def subscriptions(schema):
+    return [
+        Subscription.from_constraints(
+            schema, {"x1": (0, 50), "x2": (0, 50)}, subscription_id="a"
+        ),
+        Subscription.from_constraints(
+            schema, {"x1": (40, 90), "x3": (10, 20)}, subscription_id="b"
+        ),
+        Subscription.from_constraints(schema, {}, subscription_id="everything"),
+    ]
+
+
+@pytest.mark.parametrize("index_class", [CountingIndex, SelectivityIndex])
+class TestIndexes:
+    def test_match_results(self, index_class, schema, subscriptions):
+        index = index_class(schema)
+        index.add_all(subscriptions)
+        publication = Publication.from_values(schema, {"x1": 45, "x2": 10, "x3": 15})
+        matched_ids = {s.id for s in index.match(publication)}
+        assert matched_ids == {"a", "b", "everything"}
+
+    def test_match_empty_index(self, index_class, schema):
+        index = index_class(schema)
+        publication = Publication.from_values(schema, {"x1": 1, "x2": 1, "x3": 1})
+        assert index.match(publication) == []
+
+    def test_no_match(self, index_class, schema, subscriptions):
+        index = index_class(schema)
+        index.add_all(subscriptions[:2])
+        publication = Publication.from_values(schema, {"x1": 99, "x2": 99, "x3": 99})
+        assert index.match(publication) == []
+
+    def test_remove(self, index_class, schema, subscriptions):
+        index = index_class(schema)
+        index.add_all(subscriptions)
+        assert index.remove("a")
+        assert not index.remove("missing")
+        publication = Publication.from_values(schema, {"x1": 45, "x2": 10, "x3": 15})
+        assert {s.id for s in index.match(publication)} == {"b", "everything"}
+        assert len(index) == 2
+
+    def test_schema_mismatch_rejected(self, index_class, schema):
+        index = index_class(schema)
+        other = Schema.uniform_integer(2, 0, 10, name="other")
+        with pytest.raises(ValidationError):
+            index.add(Subscription.whole_space(other))
+        with pytest.raises(ValidationError):
+            index.match(Publication(other, [0, 0]))
+
+    def test_agreement_with_bruteforce(self, index_class, schema):
+        rng = np.random.default_rng(11)
+        subscriptions = [random_subscription(schema, rng) for _ in range(50)]
+        index = index_class(schema)
+        index.add_all(subscriptions)
+        for _ in range(50):
+            publication = random_publication(schema, rng)
+            expected = {s.id for s in subscriptions if s.matches(publication)}
+            assert {s.id for s in index.match(publication)} == expected
+
+
+class TestSelectivitySpecifics:
+    def test_attribute_order_prefers_narrow_attributes(self, schema):
+        index = SelectivityIndex(schema)
+        index.add(
+            Subscription.from_constraints(
+                schema, {"x2": (10, 12)}  # x2 is by far the most selective
+            )
+        )
+        index.add(Subscription.from_constraints(schema, {"x2": (40, 42)}))
+        assert index.attribute_order[0] == "x2"
+
+
+class TestCountingSpecifics:
+    def test_match_count(self, schema, subscriptions):
+        index = CountingIndex(schema)
+        index.add_all(subscriptions)
+        publication = Publication.from_values(schema, {"x1": 45, "x2": 10, "x3": 15})
+        assert index.match_count(publication) == 3

@@ -1,0 +1,55 @@
+"""Tests of the public package surface (imports, exports, metadata)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.model",
+            "repro.core",
+            "repro.matching",
+            "repro.broker",
+            "repro.workloads",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        package = importlib.import_module(module)
+        assert hasattr(package, "__all__")
+        for name in package.__all__:
+            assert hasattr(package, name), f"{module}.{name}"
+
+    def test_primary_workflow_symbols(self):
+        # The quickstart workflow is reachable from the package root.
+        schema = repro.Schema.uniform_integer(2, 0, 10)
+        subscription = repro.Subscription.from_constraints(schema, {"x1": (1, 5)})
+        checker = repro.SubsumptionChecker(rng=0)
+        result = checker.check(subscription, [])
+        assert isinstance(result, repro.SubsumptionResult)
+
+    def test_rho_w_helper_exported(self):
+        schema = repro.Schema.uniform_integer(1, 0, 9)
+        s = repro.Subscription.from_constraints(schema, {"x1": (0, 9)})
+        c = repro.Subscription.from_constraints(schema, {"x1": (0, 4)})
+        rho = repro.compute_point_witness_probability(s, [c])
+        assert rho == pytest.approx(0.5)
+
+    def test_required_iterations_exported(self):
+        assert repro.compute_required_iterations(0.5, 0.5) == 1
+
+    def test_covering_policy_enum_exported(self):
+        assert repro.CoveringPolicy("group").value == "group"

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.core.pairwise` (the classical baseline)."""
+
+import pytest
+
+from repro.core.pairwise import PairwiseCoverageChecker
+from repro.model import Schema, Subscription
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform_integer(2, 0, 100)
+
+
+def box(schema, x1, x2, **kwargs):
+    return Subscription.from_constraints(schema, {"x1": x1, "x2": x2}, **kwargs)
+
+
+class TestStatelessCheck:
+    def test_detects_single_coverer(self, schema):
+        s = box(schema, (10, 20), (10, 20))
+        candidates = [box(schema, (50, 60), (50, 60)), box(schema, (0, 30), (0, 30))]
+        result = PairwiseCoverageChecker.check(s, candidates)
+        assert result.covered
+        assert result.covering is candidates[1]
+        assert result.comparisons == 2
+
+    def test_union_cover_is_not_detected(self, table3_subscription, table3_candidates):
+        """The baseline's key weakness: it misses group-only covers."""
+        result = PairwiseCoverageChecker.check(table3_subscription, table3_candidates)
+        assert not result.covered
+
+    def test_empty_candidate_set(self, schema):
+        result = PairwiseCoverageChecker.check(box(schema, (0, 1), (0, 1)), [])
+        assert not result.covered
+        assert result.comparisons == 0
+
+
+class TestIncrementalMaintenance:
+    def test_covered_newcomer_not_added_to_active(self, schema):
+        checker = PairwiseCoverageChecker()
+        checker.add(box(schema, (0, 50), (0, 50), subscription_id="big"))
+        result = checker.add(box(schema, (10, 20), (10, 20), subscription_id="small"))
+        assert result.covered
+        assert [s.id for s in checker.active] == ["big"]
+        assert [s.id for s in checker.covered] == ["small"]
+        assert checker.active_count == 1
+        assert len(checker) == 2
+
+    def test_newcomer_demotes_covered_existing(self, schema):
+        checker = PairwiseCoverageChecker()
+        checker.add(box(schema, (10, 20), (10, 20), subscription_id="small"))
+        result = checker.add(box(schema, (0, 50), (0, 50), subscription_id="big"))
+        assert not result.covered
+        assert [s.id for s in checker.active] == ["big"]
+        assert [s.id for s in checker.covered] == ["small"]
+
+    def test_incomparable_subscriptions_all_stay_active(self, schema):
+        checker = PairwiseCoverageChecker()
+        checker.add(box(schema, (0, 20), (0, 20)))
+        checker.add(box(schema, (30, 50), (30, 50)))
+        checker.add(box(schema, (60, 80), (60, 80)))
+        assert checker.active_count == 3
+
+    def test_initial_iterable(self, schema):
+        subs = [box(schema, (0, 50), (0, 50)), box(schema, (10, 20), (10, 20))]
+        checker = PairwiseCoverageChecker(subs)
+        assert checker.active_count == 1
+
+    def test_remove(self, schema):
+        checker = PairwiseCoverageChecker()
+        checker.add(box(schema, (0, 50), (0, 50), subscription_id="a"))
+        checker.add(box(schema, (10, 20), (10, 20), subscription_id="b"))
+        assert checker.remove("b")
+        assert not checker.remove("missing")
+        assert len(checker) == 1
+
+    def test_comparison_counter_accumulates(self, schema):
+        checker = PairwiseCoverageChecker()
+        checker.add(box(schema, (0, 10), (0, 10)))
+        checker.add(box(schema, (20, 30), (20, 30)))
+        checker.add(box(schema, (40, 50), (40, 50)))
+        assert checker.comparisons > 0

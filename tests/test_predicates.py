@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.model.predicates`."""
+
+import pytest
+
+from repro.model.attributes import CategoricalDomain, ContinuousDomain, IntegerDomain
+from repro.model.errors import ValidationError
+from repro.model.intervals import Interval
+from repro.model.predicates import Operator, Predicate
+
+
+@pytest.fixture
+def integer_domain():
+    return IntegerDomain(0, 100)
+
+
+@pytest.fixture
+def continuous_domain():
+    return ContinuousDomain(0.0, 100.0)
+
+
+@pytest.fixture
+def categorical_domain():
+    return CategoricalDomain(["a", "b", "c", "d"])
+
+
+class TestToInterval:
+    def test_eq(self, integer_domain):
+        assert Predicate.eq("x", 5).to_interval(integer_domain) == Interval(5, 5)
+
+    def test_ge(self, integer_domain):
+        assert Predicate.ge("x", 5).to_interval(integer_domain) == Interval(5, 100)
+
+    def test_gt_discrete_shrinks_a_tick(self, integer_domain):
+        assert Predicate.gt("x", 5).to_interval(integer_domain) == Interval(6, 100)
+
+    def test_gt_continuous_keeps_bound(self, continuous_domain):
+        assert Predicate.gt("x", 5).to_interval(continuous_domain) == Interval(5, 100)
+
+    def test_le(self, integer_domain):
+        assert Predicate.le("x", 5).to_interval(integer_domain) == Interval(0, 5)
+
+    def test_lt_discrete(self, integer_domain):
+        assert Predicate.lt("x", 5).to_interval(integer_domain) == Interval(0, 4)
+
+    def test_between(self, integer_domain):
+        assert Predicate.between("x", 3, 9).to_interval(integer_domain) == Interval(3, 9)
+
+    def test_any(self, integer_domain):
+        assert Predicate.any("x").to_interval(integer_domain) == Interval(0, 100)
+
+    def test_in_categorical(self, categorical_domain):
+        predicate = Predicate.member_of("x", ["b", "c"])
+        assert predicate.to_interval(categorical_domain) == Interval(1, 2)
+
+    def test_in_requires_categorical(self, integer_domain):
+        with pytest.raises(ValidationError):
+            Predicate.member_of("x", [1, 2]).to_interval(integer_domain)
+
+    def test_gt_at_top_of_domain_is_empty(self, integer_domain):
+        assert Predicate.gt("x", 100).to_interval(integer_domain).is_empty
+
+    def test_lt_at_bottom_of_domain_is_empty(self, integer_domain):
+        assert Predicate.lt("x", 0).to_interval(integer_domain).is_empty
+
+    def test_between_clips_to_domain(self, integer_domain):
+        assert Predicate.between("x", -5, 200).to_interval(integer_domain) == Interval(
+            0, 100
+        )
+
+
+class TestMatches:
+    def test_matches_value(self, integer_domain):
+        assert Predicate.ge("x", 10).matches(10, integer_domain)
+        assert not Predicate.ge("x", 10).matches(9, integer_domain)
+
+    def test_matches_categorical(self, categorical_domain):
+        assert Predicate.eq("x", "b").matches("b", categorical_domain)
+        assert not Predicate.eq("x", "b").matches("c", categorical_domain)
+
+    def test_matches_empty_interval_is_false(self, integer_domain):
+        assert not Predicate.gt("x", 100).matches(100, integer_domain)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            Predicate.eq("x", 5),
+            Predicate.ge("x", 1),
+            Predicate.between("x", 2, 7),
+            Predicate.any("x"),
+            Predicate.member_of("x", ["a", "b"]),
+        ],
+    )
+    def test_roundtrip(self, predicate):
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+    def test_str_renderings(self):
+        assert "==" in str(Predicate.eq("x", 5))
+        assert "*" in str(Predicate.any("x"))
+        assert "<=" in str(Predicate.between("x", 1, 2))
+        assert "in" in str(Predicate.member_of("x", ["a"]))
+
+    def test_operator_str(self):
+        assert str(Operator.GE) == "ge"

@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.core.rspc` (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rspc import RSPCOutcome, run_rspc, _sample_points
+from repro.model import Schema, Subscription
+
+
+class TestSamplePoints:
+    def test_points_inside_subscription(self, schema_small, rng):
+        subscription = Subscription.from_constraints(
+            schema_small, {"x1": (10, 20), "x2": (5, 5)}
+        )
+        points = _sample_points(subscription, rng, 200)
+        assert points.shape == (200, 3)
+        for point in points:
+            assert subscription.contains_point(point)
+        assert np.all(points[:, 1] == 5.0)
+
+    def test_discrete_points_are_integral(self, schema_small, rng):
+        subscription = Subscription.from_constraints(schema_small, {"x1": (0, 3)})
+        points = _sample_points(subscription, rng, 50)
+        assert np.all(points == np.round(points))
+
+
+class TestRunRSPC:
+    def test_no_candidates_returns_not_covered(self, table3_subscription, rng):
+        result = run_rspc(table3_subscription, [], rho_w=1.0, rng=rng)
+        assert result.outcome is RSPCOutcome.NO_CANDIDATES
+        assert not result.covered
+        assert result.iterations_performed == 0
+
+    def test_witness_found_in_noncover_example(
+        self, table6_subscription, table6_candidates, rng
+    ):
+        result = run_rspc(
+            table6_subscription,
+            table6_candidates,
+            rho_w=0.3,
+            delta=1e-6,
+            rng=rng,
+            max_iterations=10_000,
+        )
+        assert result.outcome is RSPCOutcome.WITNESS_FOUND
+        assert not result.covered
+        assert result.witness_point is not None
+        assert table6_subscription.contains_point(result.witness_point)
+        assert not any(
+            c.contains_point(result.witness_point) for c in table6_candidates
+        )
+        assert result.error_bound == 0.0
+        assert 1 <= result.iterations_performed <= result.iterations_allowed
+
+    def test_exhausted_when_covered(
+        self, table3_subscription, table3_candidates, rng
+    ):
+        result = run_rspc(
+            table3_subscription,
+            table3_candidates,
+            rho_w=0.25,
+            delta=1e-6,
+            rng=rng,
+        )
+        assert result.outcome is RSPCOutcome.EXHAUSTED
+        assert result.covered
+        assert result.witness_point is None
+        assert result.error_bound <= 1e-6
+        assert result.iterations_performed == result.iterations_allowed
+
+    def test_budget_follows_equation_one(self, table3_subscription, table3_candidates, rng):
+        result = run_rspc(
+            table3_subscription,
+            table3_candidates,
+            rho_w=0.5,
+            delta=1e-3,
+            rng=rng,
+        )
+        # d = ceil(log(1e-3)/log(0.5)) = 10
+        assert result.iterations_allowed == 10
+        assert result.theoretical_iterations == 10
+        assert not result.truncated
+
+    def test_truncation_reported(self, table3_subscription, table3_candidates, rng):
+        result = run_rspc(
+            table3_subscription,
+            table3_candidates,
+            rho_w=1e-6,
+            delta=1e-10,
+            rng=rng,
+            max_iterations=50,
+        )
+        assert result.truncated
+        assert result.iterations_allowed == 50
+        assert result.error_bound > 1e-10
+
+    def test_seeded_runs_are_reproducible(
+        self, table6_subscription, table6_candidates
+    ):
+        first = run_rspc(
+            table6_subscription, table6_candidates, rho_w=0.3, rng=42, max_iterations=100
+        )
+        second = run_rspc(
+            table6_subscription, table6_candidates, rho_w=0.3, rng=42, max_iterations=100
+        )
+        assert first.iterations_performed == second.iterations_performed
+        assert np.array_equal(first.witness_point, second.witness_point)
+
+    def test_never_false_negative_on_covered_instances(self, schema_2d, rng):
+        """RSPC can only err toward 'covered'; a NO answer is always right."""
+        s = Subscription.from_constraints(schema_2d, {"x1": (0, 50), "x2": (0, 50)})
+        coverer = Subscription.from_constraints(
+            schema_2d, {"x1": (0, 50), "x2": (0, 50)}
+        )
+        for _ in range(20):
+            result = run_rspc(s, [coverer], rho_w=0.9, delta=1e-3, rng=rng)
+            assert result.covered
+
+    def test_statistical_error_rate_within_bound(self, schema_2d):
+        """With d derived from Eq. 1 the empirical false-YES rate stays below
+        a generous multiple of delta (here delta is large to keep runs fast)."""
+        rng = np.random.default_rng(7)
+        s = Subscription.from_constraints(schema_2d, {"x1": (0, 99), "x2": (0, 99)})
+        # Candidate covers 90% of s on x1: true witness probability is 0.1.
+        candidate = Subscription.from_constraints(
+            schema_2d, {"x1": (0, 89), "x2": (0, 99)}
+        )
+        delta = 0.05
+        failures = 0
+        runs = 200
+        for _ in range(runs):
+            result = run_rspc(s, [candidate], rho_w=0.1, delta=delta, rng=rng)
+            if result.covered:
+                failures += 1
+        assert failures / runs <= 3 * delta

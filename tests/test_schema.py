@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.model.schema`."""
+
+import numpy as np
+import pytest
+
+from repro.model.attributes import Attribute, CategoricalDomain, IntegerDomain
+from repro.model.errors import SchemaError
+from repro.model.intervals import Interval
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def mixed_schema():
+    return Schema(
+        [
+            Attribute("price", IntegerDomain(0, 1000)),
+            Attribute("brand", CategoricalDomain(["X", "Y", "Z"])),
+            ("stock", IntegerDomain(0, 50)),
+        ],
+        name="mixed",
+    )
+
+
+class TestConstruction:
+    def test_uniform_integer(self):
+        schema = Schema.uniform_integer(4, 0, 99)
+        assert schema.m == 4
+        assert schema.names == ("x1", "x2", "x3", "x4")
+        assert schema.domain(0).upper_bound == 99.0
+
+    def test_uniform_integer_rejects_non_positive_m(self):
+        with pytest.raises(SchemaError):
+            Schema.uniform_integer(0)
+
+    def test_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", IntegerDomain(0, 1)), ("a", IntegerDomain(0, 2))])
+
+    def test_accepts_tuples_and_attributes(self, mixed_schema):
+        assert mixed_schema.m == 3
+        assert mixed_schema.names == ("price", "brand", "stock")
+
+
+class TestLookups:
+    def test_index_of(self, mixed_schema):
+        assert mixed_schema.index_of("brand") == 1
+
+    def test_index_of_unknown_raises(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema.index_of("missing")
+
+    def test_attribute_by_index_and_name(self, mixed_schema):
+        assert mixed_schema.attribute(0).name == "price"
+        assert mixed_schema.attribute("stock").name == "stock"
+
+    def test_attribute_invalid_index(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema.attribute(7)
+
+    def test_attribute_invalid_key_type(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema.attribute(1.5)
+
+    def test_contains_len_iter(self, mixed_schema):
+        assert "price" in mixed_schema
+        assert "missing" not in mixed_schema
+        assert len(mixed_schema) == 3
+        assert [a.name for a in mixed_schema] == ["price", "brand", "stock"]
+
+    def test_equality_and_hash(self):
+        a = Schema.uniform_integer(2, 0, 10)
+        b = Schema.uniform_integer(2, 0, 10)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schema.uniform_integer(3, 0, 10)
+
+
+class TestGeometry:
+    def test_full_bounds(self, mixed_schema):
+        lows, highs = mixed_schema.full_bounds()
+        assert lows.tolist() == [0.0, 0.0, 0.0]
+        assert highs.tolist() == [1000.0, 2.0, 50.0]
+
+    def test_full_intervals(self, mixed_schema):
+        intervals = mixed_schema.full_intervals()
+        assert intervals[0] == Interval(0, 1000)
+
+    def test_measure(self, mixed_schema):
+        lows = np.array([0.0, 0.0, 0.0])
+        highs = np.array([9.0, 1.0, 4.0])
+        assert mixed_schema.measure(lows, highs) == 10 * 2 * 5
+
+    def test_measure_empty(self, mixed_schema):
+        lows = np.array([5.0, 0.0, 0.0])
+        highs = np.array([4.0, 1.0, 4.0])
+        assert mixed_schema.measure(lows, highs) == 0.0
+
+
+class TestEncoding:
+    def test_encode_decode_point(self, mixed_schema):
+        point = mixed_schema.encode_point({"price": 100, "brand": "Y", "stock": 5})
+        assert point.tolist() == [100.0, 1.0, 5.0]
+        decoded = mixed_schema.decode_point(point)
+        assert decoded == {"price": 100, "brand": "Y", "stock": 5}
+
+    def test_encode_point_missing_attribute(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema.encode_point({"price": 100})
+
+    def test_decode_point_wrong_length(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema.decode_point([1.0, 2.0])
+
+    def test_encode_constraints_defaults_to_full_range(self, mixed_schema):
+        lows, highs = mixed_schema.encode_constraints({"price": (10, 20)})
+        assert lows[0] == 10.0 and highs[0] == 20.0
+        assert lows[1] == 0.0 and highs[1] == 2.0
+
+    def test_encode_constraints_single_value(self, mixed_schema):
+        lows, highs = mixed_schema.encode_constraints({"brand": "Z"})
+        assert lows[1] == highs[1] == 2.0
+
+    def test_encode_constraints_star(self, mixed_schema):
+        lows, highs = mixed_schema.encode_constraints({"price": "*"})
+        assert lows[0] == 0.0 and highs[0] == 1000.0
+
+    def test_encode_constraints_interval(self, mixed_schema):
+        lows, highs = mixed_schema.encode_constraints({"price": Interval(5, 7)})
+        assert lows[0] == 5.0 and highs[0] == 7.0
+
+    def test_to_dict(self, mixed_schema):
+        payload = mixed_schema.to_dict()
+        assert payload["name"] == "mixed"
+        assert len(payload["attributes"]) == 3

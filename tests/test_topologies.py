@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.broker.topologies`."""
+
+import networkx as nx
+import pytest
+
+from repro.broker.topologies import (
+    grid_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+
+
+def as_graph(edges):
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return graph
+
+
+class TestLine:
+    def test_edge_count(self):
+        assert len(line_topology(5)) == 4
+
+    def test_single_broker(self):
+        assert line_topology(1) == []
+
+    def test_is_a_path(self):
+        graph = as_graph(line_topology(6))
+        assert nx.is_connected(graph)
+        degrees = sorted(dict(graph.degree()).values())
+        assert degrees == [1, 1, 2, 2, 2, 2]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            line_topology(0)
+
+
+class TestStar:
+    def test_hub_degree(self):
+        graph = as_graph(star_topology(7))
+        assert graph.degree("B1") == 6
+        assert nx.is_connected(graph)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            star_topology(0)
+
+
+class TestGrid:
+    def test_edge_count(self):
+        # rows*(cols-1) + cols*(rows-1)
+        assert len(grid_topology(3, 4)) == 3 * 3 + 4 * 2
+
+    def test_connected(self):
+        graph = as_graph(grid_topology(4, 4))
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 16
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+
+
+class TestRandomTree:
+    def test_is_a_tree(self, rng):
+        edges = random_tree_topology(20, rng)
+        graph = as_graph(edges)
+        assert graph.number_of_nodes() == 20
+        assert graph.number_of_edges() == 19
+        assert nx.is_tree(graph)
+
+    def test_reproducible_with_seed(self):
+        assert random_tree_topology(10, 5) == random_tree_topology(10, 5)
+
+    def test_single_node(self):
+        assert random_tree_topology(1) == []
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            random_tree_topology(0)
