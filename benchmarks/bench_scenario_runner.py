@@ -1,0 +1,59 @@
+"""Throughput of the scenario-runner hot loop.
+
+Compiles the ``t2-burst`` tier once and measures how many events per
+second the runner pushes through (a) a single matching engine and (b) the
+full broker overlay.  Future PRs touching the runner, the broker message
+pump or the matching engine can use these numbers to catch
+scenario-throughput regressions.
+
+Set ``REPRO_PAPER=1`` to run the heavier ``t3-stress`` tier instead.
+"""
+
+import pytest
+
+from conftest import paper_scale
+
+from repro.scenarios import ScenarioRunner, compile_scenario, get_scenario
+
+SEED = 20060331
+
+
+def _tier_name() -> str:
+    return "t3-stress" if paper_scale() else "t2-burst"
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """The benchmark tier compiled once, shared by both backends."""
+    return compile_scenario(get_scenario(_tier_name()), seed=SEED)
+
+
+def test_scenario_runner_engine_throughput(benchmark, compiled):
+    """Events/sec of the runner against a single matching engine."""
+    report = benchmark.pedantic(
+        lambda: ScenarioRunner(backend="engine").run(compiled),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.event_count == compiled.event_count
+    print(
+        f"\n{compiled.spec.name} (engine): {report.event_count} events, "
+        f"{report.events_per_second:,.0f} events/s"
+    )
+
+
+def test_scenario_runner_network_throughput(benchmark, compiled):
+    """Events/sec of the runner against the broker overlay."""
+    report = benchmark.pedantic(
+        lambda: ScenarioRunner(backend="network").run(compiled),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.event_count == compiled.event_count
+    # The overlay's global oracle accounts for every expected notification.
+    assert report.totals["expected_notifications"] >= report.totals["notifications"]
+    print(
+        f"\n{compiled.spec.name} (network): {report.event_count} events, "
+        f"{report.events_per_second:,.0f} events/s, "
+        f"false-decision rate {report.false_decision_rate:.4f}"
+    )

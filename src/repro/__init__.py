@@ -29,6 +29,13 @@ The package is organised in layers:
 ``repro.experiments``
     The experiment harness that regenerates every figure of the paper's
     evaluation section.
+
+``repro.scenarios``
+    Registry-driven, replayable *dynamic* workload scenarios — phase
+    timelines (subscribe ramps, unsubscribe storms, publication bursts,
+    flash crowds, steady-state mixes) compiled into deterministic event
+    streams and executed against the broker overlay with per-phase
+    metrics (``python -m repro.scenarios``).
 """
 
 from repro.model import (

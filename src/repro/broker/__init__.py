@@ -19,7 +19,7 @@ from repro.broker.messages import (
     SubscriptionMessage,
     UnsubscriptionMessage,
 )
-from repro.broker.metrics import NetworkMetrics
+from repro.broker.metrics import MetricsSnapshot, NetworkMetrics
 from repro.broker.network import BrokerNetwork
 from repro.broker.topologies import (
     grid_topology,
@@ -35,6 +35,7 @@ __all__ = [
     "ChainModel",
     "CoveringPolicy",
     "Message",
+    "MetricsSnapshot",
     "NetworkMetrics",
     "NotificationRecord",
     "PublicationMessage",

@@ -2,12 +2,53 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Set, Tuple
 
 from repro.broker.messages import NotificationRecord
 
-__all__ = ["NetworkMetrics"]
+__all__ = ["MetricsSnapshot", "NetworkMetrics"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable point-in-time copy of the :class:`NetworkMetrics` counters.
+
+    Snapshots make per-phase accounting trivial: take one before and one
+    after a workload phase and :meth:`diff` them — no manual field
+    arithmetic.  Derived quantities (missed notifications, delivery ratio)
+    are recomputed from the counter *deltas*, so a phase that delivered
+    everything it owed reports a delivery ratio of 1.0 even when earlier
+    phases lost notifications.
+    """
+
+    subscription_messages: int = 0
+    unsubscription_messages: int = 0
+    publication_messages: int = 0
+    notifications: int = 0
+    expected_notifications: int = 0
+    suppressed_subscriptions: int = 0
+    subsumption_checks: int = 0
+    rspc_iterations: int = 0
+
+    def diff(self, earlier: "MetricsSnapshot") -> Dict[str, float]:
+        """Counter deltas from ``earlier`` to this snapshot.
+
+        Returns a plain dictionary with one entry per counter plus the
+        derived ``missed_notifications`` and ``delivery_ratio`` of the
+        interval.
+        """
+        delta = {
+            spec.name: getattr(self, spec.name) - getattr(earlier, spec.name)
+            for spec in fields(self)
+        }
+        expected = delta["expected_notifications"]
+        delivered = delta["notifications"]
+        delta["missed_notifications"] = max(expected - delivered, 0)
+        delta["delivery_ratio"] = (
+            1.0 if expected == 0 else round(delivered / expected, 6)
+        )
+        return delta
 
 
 @dataclass
@@ -62,6 +103,23 @@ class NetworkMetrics:
     def missed_notifications(self) -> int:
         """Expected notifications that never reached their subscriber."""
         return max(self.expected_notifications - self.notifications, 0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of the current counters."""
+        return MetricsSnapshot(
+            subscription_messages=self.subscription_messages,
+            unsubscription_messages=self.unsubscription_messages,
+            publication_messages=self.publication_messages,
+            notifications=self.notifications,
+            expected_notifications=self.expected_notifications,
+            suppressed_subscriptions=self.suppressed_subscriptions,
+            subsumption_checks=self.subsumption_checks,
+            rspc_iterations=self.rspc_iterations,
+        )
+
+    def diff(self, earlier: MetricsSnapshot) -> Dict[str, float]:
+        """Counter deltas since ``earlier`` (see :meth:`MetricsSnapshot.diff`)."""
+        return self.snapshot().diff(earlier)
 
     def summary(self) -> Dict[str, float]:
         """Compact dictionary view used by the experiment reports."""

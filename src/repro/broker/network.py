@@ -25,7 +25,7 @@ from repro.broker.messages import (
     SubscriptionMessage,
     UnsubscriptionMessage,
 )
-from repro.broker.metrics import NetworkMetrics
+from repro.broker.metrics import MetricsSnapshot, NetworkMetrics
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
 from repro.model.publications import Publication
@@ -67,6 +67,8 @@ class BrokerNetwork:
         self._rng = ensure_rng(rng)
         self.brokers: Dict[str, Broker] = {}
         self.metrics = NetworkMetrics()
+        #: ``(phase name, metrics snapshot at phase start)`` marks, in order
+        self.phase_marks: List[Tuple[str, MetricsSnapshot]] = []
         #: client identifier -> broker identifier
         self.clients: Dict[str, str] = {}
         #: global oracle: every subscription with its subscriber and broker
@@ -245,6 +247,20 @@ class BrokerNetwork:
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown message type {type(message)!r}")
             queue.extend(outgoing)
+
+    # ------------------------------------------------------------------
+    # Phase accounting
+    # ------------------------------------------------------------------
+    def mark_phase(self, name: str) -> MetricsSnapshot:
+        """Record the start of a named workload phase.
+
+        Returns the metrics snapshot taken at the mark, so callers can later
+        ``metrics.diff(snapshot)`` to obtain the phase's counter deltas.  The
+        marks are kept (in order) in :attr:`phase_marks` for introspection.
+        """
+        snapshot = self.metrics.snapshot()
+        self.phase_marks.append((name, snapshot))
+        return snapshot
 
     # ------------------------------------------------------------------
     # Introspection

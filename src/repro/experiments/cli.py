@@ -79,6 +79,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the evaluation figures of the paper.",
+        epilog=(
+            "Dynamic workloads (churn, bursts, flash crowds) live in the "
+            "scenario harness: `python -m repro.scenarios list`."
+        ),
     )
     parser.add_argument(
         "targets",

@@ -1,0 +1,226 @@
+"""The canonical scenario catalog.
+
+Seven tiers, T0 (seconds, CI smoke) through T3 (stress), built from the
+repository's workload generators:
+
+==================  ====  ==============  =======================================
+Name                Tier  Workload        Exercise
+==================  ====  ==============  =======================================
+``t0-smoke``        T0    bike-rental     tiny ramp/burst/storm sanity run
+``t0-discovery``    T0    grid            churn-free ramp + burst (lossless
+                                          baseline for delivery assertions)
+``t1-churn``        T1    bike-rental     subscribe/unsubscribe churn under load
+``t1-flashcrowd``   T1    bike-rental     repeated flash crowds on a star hub
+``t2-burst``        T2    comparison      bursty high-volume traffic (benchmark
+                                          tier for runner throughput)
+``t2-paper-mix``    T2    paper-redundant Section 6 covering structure under
+                                          dynamic arrival/removal
+``t3-stress``       T3    bike-rental     largest overlay, heavy steady churn
+==================  ====  ==============  =======================================
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register
+from repro.scenarios.spec import PhaseKind, PhaseSpec, ScenarioSpec, TopologySpec
+
+__all__ = ["CANONICAL_TIERS"]
+
+
+@register
+def t0_smoke() -> ScenarioSpec:
+    """Smallest end-to-end exercise of every phase kind."""
+    return ScenarioSpec(
+        name="t0-smoke",
+        tier="T0",
+        description="Tiny bike-rental sanity run: ramp, burst, storm, burst.",
+        workload="bike-rental",
+        topology=TopologySpec(kind="line", size=3),
+        clients=8,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 12}),
+            PhaseSpec("burst", PhaseKind.PUBLISH_BURST, {"count": 20}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.5}),
+            PhaseSpec("after-storm", PhaseKind.PUBLISH_BURST, {"count": 10}),
+        ],
+        tags=("smoke", "ci"),
+    )
+
+
+@register
+def t0_discovery() -> ScenarioSpec:
+    """Churn-free Grid discovery run — the lossless-delivery baseline.
+
+    Without unsubscriptions, covering-based suppression is sound for the
+    deterministic policies, so a run under ``pairwise`` must deliver every
+    expected notification (asserted by the end-to-end tests).
+    """
+    return ScenarioSpec(
+        name="t0-discovery",
+        tier="T0",
+        description="Grid resource discovery, ramp + burst, no churn.",
+        workload="grid",
+        topology=TopologySpec(kind="star", size=4),
+        clients=8,
+        phases=[
+            PhaseSpec("announce", PhaseKind.SUBSCRIBE_RAMP, {"count": 14}),
+            PhaseSpec("jobs", PhaseKind.PUBLISH_BURST, {"count": 24}),
+        ],
+        tags=("smoke", "ci", "lossless-baseline"),
+    )
+
+
+@register
+def t1_churn() -> ScenarioSpec:
+    """Subscription churn: ramp, storm, re-ramp, traffic, steady mix."""
+    return ScenarioSpec(
+        name="t1-churn",
+        tier="T1",
+        description="Bike-rental subscription churn on a 2x3 broker grid.",
+        workload="bike-rental",
+        topology=TopologySpec(kind="grid", rows=2, columns=3),
+        clients=24,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 60}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.4}),
+            PhaseSpec("re-ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 40}),
+            PhaseSpec("traffic", PhaseKind.PUBLISH_BURST, {"count": 120}),
+            PhaseSpec(
+                "steady",
+                PhaseKind.STEADY_STATE,
+                {
+                    "ops": 150,
+                    "publish_weight": 0.6,
+                    "subscribe_weight": 0.25,
+                    "unsubscribe_weight": 0.15,
+                },
+            ),
+        ],
+        tags=("churn",),
+    )
+
+
+@register
+def t1_flashcrowd() -> ScenarioSpec:
+    """Flash crowds hammering a star hub."""
+    return ScenarioSpec(
+        name="t1-flashcrowd",
+        tier="T1",
+        description="Repeated flash crowds (subscribe pile-in + burst) on a star.",
+        workload="bike-rental",
+        topology=TopologySpec(kind="star", size=5),
+        clients=30,
+        phases=[
+            PhaseSpec("warmup", PhaseKind.SUBSCRIBE_RAMP, {"count": 40}),
+            PhaseSpec(
+                "crowd-1",
+                PhaseKind.FLASH_CROWD,
+                {"subscriptions": 30, "publications": 100},
+            ),
+            PhaseSpec("cooldown", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.3}),
+            PhaseSpec(
+                "crowd-2",
+                PhaseKind.FLASH_CROWD,
+                {"subscriptions": 20, "publications": 80},
+            ),
+        ],
+        tags=("burst",),
+    )
+
+
+@register
+def t2_burst() -> ScenarioSpec:
+    """High-volume bursty traffic — the runner-throughput benchmark tier."""
+    return ScenarioSpec(
+        name="t2-burst",
+        tier="T2",
+        description="Bursty comparison-workload traffic on a random tree.",
+        workload="comparison",
+        workload_params={"m": 8, "domain_size": 10_000},
+        topology=TopologySpec(kind="random-tree", size=8),
+        clients=40,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 150}),
+            PhaseSpec("burst-1", PhaseKind.PUBLISH_BURST, {"count": 300}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.5}),
+            PhaseSpec("re-ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 100}),
+            PhaseSpec("burst-2", PhaseKind.PUBLISH_BURST, {"count": 300}),
+            PhaseSpec(
+                "steady",
+                PhaseKind.STEADY_STATE,
+                {"ops": 300, "publish_weight": 0.7, "subscribe_weight": 0.2,
+                 "unsubscribe_weight": 0.1},
+            ),
+        ],
+        tags=("benchmark",),
+    )
+
+
+@register
+def t2_paper_mix() -> ScenarioSpec:
+    """The paper's redundant-covering structure under dynamic churn.
+
+    Streams Section 6.1 instances (joint covers with ~80 % redundancy)
+    through the overlay, so the group policy's probabilistic decisions are
+    exercised exactly where the paper measured them — but with arrival and
+    removal dynamics the static experiments cannot express.
+    """
+    return ScenarioSpec(
+        name="t2-paper-mix",
+        tier="T2",
+        description="Redundant-covering paper instances with churn and bursts.",
+        workload="paper-redundant",
+        workload_params={"m": 8, "domain_size": 10_000, "k": 20},
+        topology=TopologySpec(kind="random-tree", size=6),
+        clients=24,
+        delta=1e-4,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 120}),
+            PhaseSpec("burst-1", PhaseKind.PUBLISH_BURST, {"count": 200}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.6}),
+            PhaseSpec("re-ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 80}),
+            PhaseSpec("burst-2", PhaseKind.PUBLISH_BURST, {"count": 150}),
+        ],
+        tags=("paper",),
+    )
+
+
+@register
+def t3_stress() -> ScenarioSpec:
+    """Largest canonical tier: big overlay, sustained churn and traffic."""
+    return ScenarioSpec(
+        name="t3-stress",
+        tier="T3",
+        description="3x3 broker grid, 100 clients, sustained heavy churn.",
+        workload="bike-rental",
+        topology=TopologySpec(kind="grid", rows=3, columns=3),
+        clients=100,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 400}),
+            PhaseSpec(
+                "crowd",
+                PhaseKind.FLASH_CROWD,
+                {"subscriptions": 200, "publications": 400},
+            ),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.5}),
+            PhaseSpec(
+                "steady",
+                PhaseKind.STEADY_STATE,
+                {"ops": 1_000, "publish_weight": 0.6, "subscribe_weight": 0.25,
+                 "unsubscribe_weight": 0.15},
+            ),
+        ],
+        tags=("stress",),
+    )
+
+
+#: the canonical tier names, in escalation order
+CANONICAL_TIERS = (
+    "t0-smoke",
+    "t0-discovery",
+    "t1-churn",
+    "t1-flashcrowd",
+    "t2-burst",
+    "t2-paper-mix",
+    "t3-stress",
+)

@@ -1,0 +1,164 @@
+"""Command-line interface of the scenario harness.
+
+::
+
+    python -m repro.scenarios list                    # registered scenarios
+    python -m repro.scenarios describe t1-churn       # spec + timeline
+    python -m repro.scenarios run t1-churn --seed 7   # execute + report
+    python -m repro.scenarios run t1-churn --seed 7 --trace run.jsonl
+    python -m repro.scenarios replay run.jsonl        # byte-exact re-run
+
+``run`` and ``replay`` print the same per-phase metric table; a replay of
+a recorded trace reproduces the original run's metrics exactly (wall
+times excepted).  ``--json`` emits the machine-readable report instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.scenarios import catalog  # noqa: F401 - populates the registry
+from repro.scenarios.events import compile_scenario
+from repro.scenarios.registry import REGISTRY
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.trace import TraceError, read_trace, write_trace
+from repro.utils.tables import render_table
+
+__all__ = ["main"]
+
+
+def _cmd_list(arguments: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in REGISTRY.items():
+        if arguments.tier and spec.tier.lower() != arguments.tier.lower():
+            continue
+        rows.append(
+            (name, spec.tier, spec.workload, spec.topology.kind,
+             str(len(spec.phases)), spec.description)
+        )
+    if not rows:
+        print("no scenarios registered" + (f" for tier {arguments.tier}" if arguments.tier else ""))
+        return 1
+    labels = ("name", "tier", "workload", "topology", "phases", "description")
+    print(render_table(labels, rows))
+    return 0
+
+
+def _get_spec(name: str):
+    try:
+        return REGISTRY.get(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_describe(arguments: argparse.Namespace) -> int:
+    spec = _get_spec(arguments.name)
+    if arguments.json:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"{spec.name} ({spec.tier}) — {spec.description}")
+    print(f"  workload : {spec.workload} {dict(spec.workload_params) or ''}".rstrip())
+    print(f"  topology : {spec.topology.kind} ({spec.topology.broker_count} brokers)")
+    print(f"  clients  : {spec.clients}")
+    print(f"  policy   : {spec.policy.value} (delta={spec.delta:g}, "
+          f"max_iterations={spec.max_iterations})")
+    if spec.tags:
+        print(f"  tags     : {', '.join(spec.tags)}")
+    print("  timeline :")
+    for phase in spec.phases:
+        params = ", ".join(f"{key}={value}" for key, value in phase.params.items())
+        print(f"    {phase.name:<14} {phase.kind.value:<18} {params}")
+    return 0
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    spec = _get_spec(arguments.name)
+    compiled = compile_scenario(spec, arguments.seed)
+    if arguments.trace:
+        digest = write_trace(arguments.trace, compiled, backend=arguments.backend)
+        print(f"[trace written to {arguments.trace} ({digest[:12]}…)]",
+              file=sys.stderr)
+    runner = ScenarioRunner(spec, seed=arguments.seed, backend=arguments.backend)
+    report = runner.run(compiled)
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_replay(arguments: argparse.Namespace) -> int:
+    compiled = read_trace(arguments.trace, verify=not arguments.no_verify)
+    # Default to the backend the trace was recorded from, so a bare
+    # `replay` reproduces the original run's metrics.
+    backend = arguments.backend or compiled.recorded_backend or "network"
+    runner = ScenarioRunner(backend=backend)
+    report = runner.run(compiled)
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.scenarios``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Registry-driven, replayable dynamic-workload scenarios.",
+        epilog="Static paper figures live in `python -m repro.experiments`.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--tier", default=None, help="only show one tier")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    describe = commands.add_parser("describe", help="show one scenario's spec")
+    describe.add_argument("name", help="registered scenario name")
+    describe.add_argument("--json", action="store_true", help="emit the spec as JSON")
+    describe.set_defaults(handler=_cmd_describe)
+
+    run = commands.add_parser("run", help="compile and execute a scenario")
+    run.add_argument("name", help="registered scenario name")
+    run.add_argument("--seed", type=int, default=0, help="compilation/backend seed")
+    run.add_argument(
+        "--backend",
+        choices=("network", "engine"),
+        default="network",
+        help="drive the broker overlay (default) or a single matching engine",
+    )
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record the compiled event stream as a JSONL trace")
+    run.add_argument("--json", action="store_true", help="emit the report as JSON")
+    run.set_defaults(handler=_cmd_run)
+
+    replay = commands.add_parser("replay", help="re-run a recorded trace")
+    replay.add_argument("trace", help="path to a trace written by `run --trace`")
+    replay.add_argument(
+        "--backend",
+        choices=("network", "engine"),
+        default=None,
+        help="backend to replay against (default: the one the trace records)",
+    )
+    replay.add_argument("--no-verify", action="store_true",
+                        help="skip the event-count / trace-hash check")
+    replay.add_argument("--json", action="store_true", help="emit the report as JSON")
+    replay.set_defaults(handler=_cmd_replay)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+    except (TraceError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,478 @@
+"""Compilation of a :class:`~repro.scenarios.spec.ScenarioSpec` into events.
+
+``compile_scenario(spec, seed)`` turns the declarative phase timeline into a
+flat, deterministic stream of :class:`ScenarioEvent` operations (subscribe /
+unsubscribe / publish), each bound to a client and carrying its payload.
+
+Determinism contract
+--------------------
+The same ``(spec, seed)`` pair always produces the same compiled scenario:
+
+* all randomness flows from four named streams spawned in a fixed order
+  from ``numpy.random.SeedSequence(seed)`` (topology shape, workload
+  content, phase mixing, broker network), so adding consumers to one
+  stream never perturbs the others;
+* subscription and publication identifiers are rewritten to sequential
+  scenario-scoped identifiers (``s00001``, ``p00001``, …), so the global
+  process-wide ID counters of the data model never leak into a trace.
+
+This is what makes the trace hash of a compiled scenario a stable
+fingerprint: two compilations of the same ``(spec, seed)`` — in the same
+process or years apart — hash identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.model.publications import Publication
+from repro.model.schema import Schema
+from repro.model.serialization import (
+    publication_from_dict,
+    publication_to_dict,
+    schema_to_dict,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.model.subscriptions import Subscription
+from repro.scenarios.spec import PhaseKind, PhaseSpec, ScenarioSpec
+from repro.utils.rng import ensure_rng
+from repro.workloads.bike_rental import BikeRentalWorkload
+from repro.workloads.comparison import ComparisonWorkload
+from repro.workloads.grid import GridWorkload
+from repro.workloads.scenarios import ScenarioName, generate_scenario
+
+__all__ = [
+    "EventAction",
+    "ScenarioEvent",
+    "CompiledScenario",
+    "compile_scenario",
+    "derive_streams",
+    "make_workload",
+    "trace_hash",
+    "WORKLOAD_NAMES",
+]
+
+
+class EventAction(str, Enum):
+    """What one event does to the system under test."""
+
+    SUBSCRIBE = "subscribe"
+    UNSUBSCRIBE = "unsubscribe"
+    PUBLISH = "publish"
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One operation of the compiled event stream.
+
+    Exactly one of ``subscription`` / ``publication`` / ``subscription_id``
+    is set, matching the action.
+    """
+
+    seq: int
+    phase: str
+    action: EventAction
+    client: str
+    subscription: Optional[Subscription] = None
+    publication: Optional[Publication] = None
+    subscription_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-safe dictionary (one trace line)."""
+        payload: Dict[str, Any] = {
+            "seq": self.seq,
+            "phase": self.phase,
+            "action": self.action.value,
+            "client": self.client,
+        }
+        if self.action is EventAction.SUBSCRIBE:
+            payload["subscription"] = subscription_to_dict(self.subscription)
+        elif self.action is EventAction.PUBLISH:
+            payload["publication"] = publication_to_dict(self.publication)
+        else:
+            payload["subscription_id"] = self.subscription_id
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], schema: Schema
+    ) -> "ScenarioEvent":
+        """Deserialize an event produced by :meth:`to_dict`."""
+        action = EventAction(payload["action"])
+        subscription = None
+        publication = None
+        subscription_id = None
+        if action is EventAction.SUBSCRIBE:
+            subscription = subscription_from_dict(payload["subscription"], schema)
+        elif action is EventAction.PUBLISH:
+            publication = publication_from_dict(payload["publication"], schema)
+        else:
+            subscription_id = payload["subscription_id"]
+        return cls(
+            seq=payload["seq"],
+            phase=payload["phase"],
+            action=action,
+            client=payload["client"],
+            subscription=subscription,
+            publication=publication,
+            subscription_id=subscription_id,
+        )
+
+
+@dataclass
+class CompiledScenario:
+    """A spec materialised into a concrete, runnable event stream.
+
+    ``recorded_backend`` is only set on scenarios loaded from a trace whose
+    header names the backend the original run used; it is advisory replay
+    metadata, not part of the stream (and not part of the trace hash — the
+    stream itself is backend-independent, and reports always display which
+    backend ran).
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    schema: Schema
+    edges: List[Tuple[str, str]]
+    clients: Dict[str, str]
+    events: List[ScenarioEvent]
+    recorded_backend: Optional[str] = None
+
+    @property
+    def event_count(self) -> int:
+        """Number of events in the stream."""
+        return len(self.events)
+
+    def trace_hash(self) -> str:
+        """Stable fingerprint of the whole compiled scenario.
+
+        Covers everything that determines a replay's outcome — the spec,
+        the seed, the schema, the materialised topology, the client
+        placement *and* the event stream — so editing any replay-relevant
+        part of a recorded trace changes the hash, not just editing event
+        lines.
+        """
+        digest = hashlib.sha256()
+        binding = {
+            "seed": self.seed,
+            "scenario": self.spec.to_dict(),
+            "schema": schema_to_dict(self.schema),
+            "edges": [list(edge) for edge in self.edges],
+            "clients": dict(self.clients),
+        }
+        digest.update(
+            json.dumps(binding, sort_keys=True, separators=(",", ":")).encode()
+        )
+        digest.update(b"\n")
+        digest.update(trace_hash(self.events).encode())
+        return digest.hexdigest()
+
+
+def trace_hash(events: List[ScenarioEvent]) -> str:
+    """SHA-256 over the canonical JSON serialization of the events."""
+    digest = hashlib.sha256()
+    for event in events:
+        digest.update(
+            json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":")).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def derive_streams(seed: int) -> Dict[str, np.random.SeedSequence]:
+    """The four named RNG streams of a scenario, spawned in fixed order."""
+    topology, workload, mix, network = np.random.SeedSequence(seed).spawn(4)
+    return {
+        "topology": topology,
+        "workload": workload,
+        "mix": mix,
+        "network": network,
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload adapters
+# ----------------------------------------------------------------------
+class _GridAdapter:
+    """Maps the Grid workload onto the subscription/publication protocol."""
+
+    def __init__(self, workload: GridWorkload):
+        self._workload = workload
+        self.schema = workload.schema
+
+    def subscription(self, subscriber: Optional[str] = None) -> Subscription:
+        return self._workload.service_subscription(service_id=subscriber)
+
+    def publication(self, publisher: Optional[str] = None) -> Publication:
+        return self._workload.job_publication(job_id=publisher)
+
+
+class _PaperFigureWorkload:
+    """Streams subscriptions/publications out of the paper's static scenarios.
+
+    Each paper-figure generator produces one *instance* — a base
+    subscription ``s`` plus candidate set ``S`` engineered for a specific
+    covering structure (Section 6).  The adapter turns that into a stream:
+    it drains ``[s] + S`` as the subscription source (regenerating a fresh
+    instance when the pool is exhausted) and publishes points that fall
+    inside the current base subscription with probability
+    ``match_probability`` (else uniformly in the space), so publications
+    actually exercise the covering-structured routing state.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioName,
+        schema: Schema,
+        rng: np.random.Generator,
+        k: int = 20,
+        match_probability: float = 0.7,
+        **scenario_kwargs: Any,
+    ):
+        self.schema = schema
+        self._scenario = ScenarioName(scenario)
+        self._rng = rng
+        self._k = k
+        self._match_probability = match_probability
+        self._scenario_kwargs = dict(scenario_kwargs)
+        self._pool: List[Subscription] = []
+        self._base: Optional[Subscription] = None
+
+    def _refill(self) -> None:
+        instance = generate_scenario(
+            self._scenario, self.schema, self._k, rng=self._rng,
+            **self._scenario_kwargs,
+        )
+        self._base = instance.subscription
+        self._pool = [instance.subscription, *instance.candidates]
+
+    def subscription(self, subscriber: Optional[str] = None) -> Subscription:
+        if not self._pool:
+            self._refill()
+        return self._pool.pop(0).replace(subscriber=subscriber)
+
+    def publication(self, publisher: Optional[str] = None) -> Publication:
+        if self._base is None:
+            self._refill()
+        if self._rng.random() < self._match_probability:
+            values = self._base.sample_point(self._rng)
+        else:
+            values = Subscription.whole_space(self.schema).sample_point(self._rng)
+        return Publication(self.schema, values, publisher=publisher)
+
+
+#: workload names accepted by :func:`make_workload`
+WORKLOAD_NAMES = (
+    "bike-rental",
+    "grid",
+    "comparison",
+    "paper-redundant",
+    "paper-noncover",
+    "paper-extreme",
+)
+
+_PAPER_SCENARIOS = {
+    "paper-redundant": ScenarioName.REDUNDANT_COVERING,
+    "paper-noncover": ScenarioName.NON_COVER,
+    "paper-extreme": ScenarioName.EXTREME_NON_COVER,
+}
+
+
+def make_workload(name: str, params: Mapping[str, Any], rng: np.random.Generator):
+    """Instantiate the named workload adapter with its own RNG stream.
+
+    The returned object exposes ``schema``, ``subscription(subscriber=…)``
+    and ``publication(publisher=…)``.
+    """
+    params = dict(params)
+    if name == "bike-rental":
+        return BikeRentalWorkload(rng=rng, **params)
+    if name == "grid":
+        return _GridAdapter(GridWorkload(rng=rng, **params))
+    if name == "comparison":
+        m = params.pop("m", 8)
+        domain_size = params.pop("domain_size", 10_000)
+        schema = Schema.uniform_integer(m, 0, domain_size)
+        return ComparisonWorkload(schema=schema, rng=rng, **params)
+    if name in _PAPER_SCENARIOS:
+        m = params.pop("m", 8)
+        domain_size = params.pop("domain_size", 10_000)
+        schema = Schema.uniform_integer(m, 0, domain_size)
+        if _PAPER_SCENARIOS[name] is ScenarioName.EXTREME_NON_COVER:
+            params.setdefault("gap_fraction", 0.02)
+        return _PaperFigureWorkload(
+            _PAPER_SCENARIOS[name], schema, rng, **params
+        )
+    raise ValueError(
+        f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+class _EventBuilder:
+    """Accumulates events while tracking live subscriptions for churn."""
+
+    def __init__(self, spec: ScenarioSpec, workload, mix: np.random.Generator):
+        self.spec = spec
+        self.workload = workload
+        self.mix = mix
+        self.events: List[ScenarioEvent] = []
+        self.client_names = [f"c{index + 1:03d}" for index in range(spec.clients)]
+        #: live subscription ids in issue order -> owning client
+        self._live: Dict[str, str] = {}
+        self._subscription_count = 0
+        self._publication_count = 0
+
+    def _pick_client(self) -> str:
+        return self.client_names[int(self.mix.integers(0, len(self.client_names)))]
+
+    def subscribe(self, phase: str) -> None:
+        client = self._pick_client()
+        self._subscription_count += 1
+        identifier = f"s{self._subscription_count:05d}"
+        subscription = self.workload.subscription(subscriber=client).replace(
+            subscription_id=identifier
+        )
+        self._live[identifier] = client
+        self.events.append(
+            ScenarioEvent(
+                seq=len(self.events) + 1,
+                phase=phase,
+                action=EventAction.SUBSCRIBE,
+                client=client,
+                subscription=subscription,
+            )
+        )
+
+    def unsubscribe(self, phase: str) -> bool:
+        if not self._live:
+            return False
+        identifiers = list(self._live)
+        identifier = identifiers[int(self.mix.integers(0, len(identifiers)))]
+        client = self._live.pop(identifier)
+        self.events.append(
+            ScenarioEvent(
+                seq=len(self.events) + 1,
+                phase=phase,
+                action=EventAction.UNSUBSCRIBE,
+                client=client,
+                subscription_id=identifier,
+            )
+        )
+        return True
+
+    def publish(self, phase: str) -> None:
+        client = self._pick_client()
+        self._publication_count += 1
+        raw = self.workload.publication(publisher=client)
+        publication = Publication(
+            raw.schema,
+            raw.values,
+            publication_id=f"p{self._publication_count:05d}",
+            publisher=client,
+            metadata=dict(raw.metadata),
+        )
+        self.events.append(
+            ScenarioEvent(
+                seq=len(self.events) + 1,
+                phase=phase,
+                action=EventAction.PUBLISH,
+                client=client,
+                publication=publication,
+            )
+        )
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+
+def _compile_phase(builder: _EventBuilder, phase: PhaseSpec) -> None:
+    params = phase.params
+    if phase.kind is PhaseKind.SUBSCRIBE_RAMP:
+        for _ in range(int(params.get("count", 0))):
+            builder.subscribe(phase.name)
+    elif phase.kind is PhaseKind.PUBLISH_BURST:
+        for _ in range(int(params.get("count", 0))):
+            builder.publish(phase.name)
+    elif phase.kind is PhaseKind.UNSUBSCRIBE_STORM:
+        if "count" in params:
+            victims = min(int(params["count"]), builder.live_count)
+        else:
+            victims = int(round(float(params["fraction"]) * builder.live_count))
+        for _ in range(victims):
+            if not builder.unsubscribe(phase.name):
+                break
+    elif phase.kind is PhaseKind.FLASH_CROWD:
+        for _ in range(int(params.get("subscriptions", 0))):
+            builder.subscribe(phase.name)
+        for _ in range(int(params.get("publications", 0))):
+            builder.publish(phase.name)
+    elif phase.kind is PhaseKind.STEADY_STATE:
+        ops = int(params.get("ops", 0))
+        weights = np.array(
+            [
+                float(params.get("publish_weight", 0.6)),
+                float(params.get("subscribe_weight", 0.3)),
+                float(params.get("unsubscribe_weight", 0.1)),
+            ]
+        )
+        weights = weights / weights.sum()
+        for _ in range(ops):
+            roll = float(builder.mix.random())
+            if roll < weights[0]:
+                builder.publish(phase.name)
+            elif roll < weights[0] + weights[1]:
+                builder.subscribe(phase.name)
+            elif not builder.unsubscribe(phase.name):
+                # Nothing live to cancel; keep the op count by publishing.
+                builder.publish(phase.name)
+    else:  # pragma: no cover - PhaseSpec validates kinds
+        raise ValueError(f"unknown phase kind {phase.kind!r}")
+
+
+def compile_scenario(spec: ScenarioSpec, seed: int = 0) -> CompiledScenario:
+    """Compile ``spec`` into a deterministic event stream for ``seed``."""
+    streams = derive_streams(seed)
+    topology_rng = ensure_rng(streams["topology"])
+    workload_rng = ensure_rng(streams["workload"])
+    mix_rng = ensure_rng(streams["mix"])
+
+    edges = spec.topology.build(rng=topology_rng)
+    workload = make_workload(spec.workload, spec.workload_params, workload_rng)
+
+    builder = _EventBuilder(spec, workload, mix_rng)
+    # Clients are attached round-robin over the brokers in edge-list order
+    # (stable across runs because the edge list itself is deterministic).
+    broker_order: List[str] = []
+    for left, right in edges:
+        for broker in (left, right):
+            if broker not in broker_order:
+                broker_order.append(broker)
+    if not broker_order:
+        broker_order = ["B1"]
+    clients = {
+        client: broker_order[index % len(broker_order)]
+        for index, client in enumerate(builder.client_names)
+    }
+
+    for phase in spec.phases:
+        _compile_phase(builder, phase)
+
+    return CompiledScenario(
+        spec=spec,
+        seed=seed,
+        schema=workload.schema,
+        edges=edges,
+        clients=clients,
+        events=builder.events,
+    )

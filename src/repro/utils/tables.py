@@ -1,0 +1,41 @@
+"""Plain-text table rendering shared by the CLI front-ends."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    labels: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    right_align_from: Optional[int] = None,
+) -> str:
+    """A width-aligned ASCII table with a dashed separator under the header.
+
+    ``right_align_from`` right-aligns every column from that index on
+    (numeric columns); ``None`` left-aligns everything.
+    """
+    widths = [
+        max(len(labels[i]), max((len(row[i]) for row in rows), default=0))
+        for i in range(len(labels))
+    ]
+
+    def _format(row: Sequence[str], numeric: bool) -> str:
+        cells: List[str] = []
+        for index, cell in enumerate(row):
+            right = (
+                numeric
+                and right_align_from is not None
+                and index >= right_align_from
+            )
+            cells.append(cell.rjust(widths[index]) if right else cell.ljust(widths[index]))
+        return "  ".join(cells)
+
+    lines = [
+        _format(list(labels), numeric=False),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(_format(row, numeric=True) for row in rows)
+    return "\n".join(lines)
