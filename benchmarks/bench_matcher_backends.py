@@ -1,0 +1,109 @@
+"""Publications/sec per matcher backend on the t2-burst scenario tier.
+
+Scales ``t2-burst`` to the matcher-stress size (>= 5k live subscriptions
+under ``none``-policy flooding, so every subscription stays active and
+the matcher backends carry the whole load), then measures how many
+publications per second the engine runner pushes through each backend —
+``linear`` (the seed scan), ``counting`` and ``selectivity`` (vectorised)
+— plus the batched ``match_batch`` path that amortises array setup across
+a burst.
+
+Emits the same JSON shape as ``bench_scenario_runner.py`` (pytest-benchmark
+entries plus a printed summary per backend).  Set ``REPRO_PAPER=1`` to
+double the subscription load.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from conftest import paper_scale
+
+from repro.matching.backends import BACKEND_NAMES
+from repro.matching.engine import MatchingEngine
+from repro.scenarios import (
+    PhaseKind,
+    PhaseSpec,
+    ScenarioRunner,
+    compile_scenario,
+    get_scenario,
+)
+
+SEED = 20060331
+
+
+def _scaled_spec():
+    """``t2-burst`` rescaled so the matcher, not the churn, is the load."""
+    subscriptions = 10_000 if paper_scale() else 5_000
+    publications = 600 if paper_scale() else 300
+    return dataclasses.replace(
+        get_scenario("t2-burst"),
+        name="t2-burst-matcher",
+        description="t2-burst scaled to the matcher-backend stress size.",
+        policy="none",
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": subscriptions}),
+            PhaseSpec("burst", PhaseKind.PUBLISH_BURST, {"count": publications}),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """The scaled tier compiled once, shared by every backend."""
+    return compile_scenario(_scaled_spec(), seed=SEED)
+
+
+def _publications_per_second(report):
+    burst = next(phase for phase in report.phases if phase.name == "burst")
+    if burst.wall_time <= 0:
+        return 0.0
+    return burst.publishes / burst.wall_time
+
+
+@pytest.mark.parametrize("engine_backend", BACKEND_NAMES)
+def test_matcher_backend_throughput(benchmark, compiled, engine_backend):
+    """Publications/sec of the engine runner per matcher backend."""
+    report = benchmark.pedantic(
+        lambda: ScenarioRunner(
+            backend="engine", engine_backend=engine_backend
+        ).run(compiled),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.event_count == compiled.event_count
+    assert report.engine_backend == engine_backend
+    subscriptions = sum(
+        1 for event in compiled.events if event.subscription is not None
+    )
+    print(
+        f"\n{compiled.spec.name} ({engine_backend}): "
+        f"{subscriptions} subscriptions, "
+        f"{_publications_per_second(report):,.0f} publications/s"
+    )
+
+
+@pytest.mark.parametrize("engine_backend", ("counting", "selectivity"))
+def test_matcher_backend_batched_throughput(benchmark, compiled, engine_backend):
+    """Publications/sec of the amortised ``match_batch`` burst path."""
+    engine = MatchingEngine(policy=compiled.spec.policy, backend=engine_backend)
+    publications = []
+    for event in compiled.events:
+        if event.subscription is not None:
+            engine.subscribe(event.subscription)
+        elif event.publication is not None:
+            publications.append(event.publication)
+
+    def run():
+        started = time.perf_counter()
+        results = engine.match_batch(publications)
+        elapsed = time.perf_counter() - started
+        return results, elapsed
+
+    (results, elapsed) = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == len(publications)
+    print(
+        f"\n{compiled.spec.name} ({engine_backend}, match_batch): "
+        f"{len(publications) / elapsed:,.0f} publications/s"
+    )

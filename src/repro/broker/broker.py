@@ -69,6 +69,10 @@ class Broker:
     checker:
         Group-subsumption checker used by the ``group`` policy (one per
         broker so each has an independent random stream).
+    matcher_backend:
+        Matcher backend of the routing table's forwarding lookup (one of
+        :data:`~repro.matching.backends.BACKEND_NAMES`); observable
+        routing behaviour is identical for every backend.
     """
 
     def __init__(
@@ -77,12 +81,14 @@ class Broker:
         neighbors: Sequence[str] = (),
         policy: CoveringPolicyName = CoveringPolicyName.GROUP,
         checker: Optional[SubsumptionChecker] = None,
+        matcher_backend: str = "linear",
     ):
         self.id = broker_id
         self.neighbors: List[str] = list(neighbors)
         self.policy = CoveringPolicyName(policy)
         self.checker = checker or SubsumptionChecker()
-        self.routing = RoutingTable()
+        self.matcher_backend = matcher_backend
+        self.routing = RoutingTable(matcher_backend=matcher_backend)
         #: local subscribers attached to this broker
         self.local_subscribers: Set[str] = set()
         #: per-neighbour record of the subscriptions forwarded to it

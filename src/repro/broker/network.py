@@ -51,6 +51,10 @@ class BrokerNetwork:
         RSPC guess cap per covering decision.
     rng:
         Seed or generator controlling every broker's random stream.
+    matcher_backend:
+        Matcher backend every broker's routing table uses for the
+        forwarding lookup (one of
+        :data:`~repro.matching.backends.BACKEND_NAMES`).
     """
 
     def __init__(
@@ -60,10 +64,12 @@ class BrokerNetwork:
         delta: float = 1e-6,
         max_iterations: int = 1_000,
         rng: RandomSource = None,
+        matcher_backend: str = "linear",
     ):
         self.policy = CoveringPolicyName(policy)
         self.delta = delta
         self.max_iterations = max_iterations
+        self.matcher_backend = matcher_backend
         self._rng = ensure_rng(rng)
         self.brokers: Dict[str, Broker] = {}
         self.metrics = NetworkMetrics()
@@ -89,7 +95,12 @@ class BrokerNetwork:
             max_iterations=self.max_iterations,
             rng=spawn_rngs(self._rng, 1)[0],
         )
-        broker = Broker(broker_id, policy=self.policy, checker=checker)
+        broker = Broker(
+            broker_id,
+            policy=self.policy,
+            checker=checker,
+            matcher_backend=self.matcher_backend,
+        )
         self.brokers[broker_id] = broker
         return broker
 

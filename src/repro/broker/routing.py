@@ -4,6 +4,13 @@ Each broker remembers, for every subscription it has learnt about, where
 the subscription came from: either a local client or the neighbouring
 broker that forwarded it.  Publications are later routed along the reverse
 of those paths (reverse path forwarding, Section 2).
+
+The forwarding-table lookup (:meth:`RoutingTable.matching_entries`) is
+delegated to a pluggable matcher backend
+(:mod:`repro.matching.backends`), so a broker can match publications with
+the seed's linear scan or with a vectorised index without any change in
+observable routing behaviour: every backend yields the matching entries in
+insertion order.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.matching.backends import make_backend
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
 
@@ -38,10 +46,20 @@ class RouteEntry:
 
 
 class RoutingTable:
-    """Mapping of subscription identifier to :class:`RouteEntry`."""
+    """Mapping of subscription identifier to :class:`RouteEntry`.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    matcher_backend:
+        Name of the matcher backend answering
+        :meth:`matching_entries` (one of
+        :data:`~repro.matching.backends.BACKEND_NAMES`).
+    """
+
+    def __init__(self, matcher_backend: str = "linear") -> None:
         self._entries: Dict[str, RouteEntry] = {}
+        self.matcher_backend = matcher_backend
+        self._index = make_backend(matcher_backend)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -51,11 +69,15 @@ class RoutingTable:
         if entry.subscription.id in self._entries:
             return False
         self._entries[entry.subscription.id] = entry
+        self._index.add(entry.subscription)
         return True
 
     def remove(self, subscription_id: str) -> Optional[RouteEntry]:
         """Remove and return an entry, or ``None`` when unknown."""
-        return self._entries.pop(subscription_id, None)
+        entry = self._entries.pop(subscription_id, None)
+        if entry is not None:
+            self._index.remove(subscription_id)
+        return entry
 
     def get(self, subscription_id: str) -> Optional[RouteEntry]:
         """Look up an entry by subscription identifier."""
@@ -73,12 +95,14 @@ class RoutingTable:
         return list(self._entries.values())
 
     def matching_entries(self, publication: Publication) -> List[RouteEntry]:
-        """Entries whose subscription matches ``publication``."""
-        return [
-            entry
-            for entry in self._entries.values()
-            if entry.subscription.contains_point(publication.values)
-        ]
+        """Entries whose subscription matches ``publication``.
+
+        Entries are returned in insertion order regardless of the matcher
+        backend, so reverse-path forwarding decisions are
+        backend-independent.
+        """
+        matched, _tests = self._index.match_candidates(publication)
+        return [self._entries[subscription.id] for subscription in matched]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -37,7 +37,12 @@ from repro.core.results import SubsumptionResult
 from repro.core.subsumption import SubsumptionChecker
 from repro.model.subscriptions import Subscription
 
-__all__ = ["CoveringPolicyName", "StoreDecision", "SubscriptionStore"]
+__all__ = [
+    "CoveringPolicyName",
+    "RemovalOutcome",
+    "StoreDecision",
+    "SubscriptionStore",
+]
 
 
 class CoveringPolicyName(str, Enum):
@@ -74,6 +79,34 @@ class StoreDecision:
     covered_by: Tuple[str, ...] = ()
     demoted: Tuple[Subscription, ...] = ()
     result: Optional[SubsumptionResult] = None
+
+
+@dataclass
+class RemovalOutcome:
+    """What happened when a subscription was removed from the store.
+
+    Attributes
+    ----------
+    subscription:
+        The removed subscription, or ``None`` when the identifier was
+        unknown.
+    was_active:
+        Whether it was removed from the active set (``False``: it was a
+        covered subscription, or unknown).
+    reinsertions:
+        When an active subscription leaves, the covered subscriptions that
+        referenced it are re-run through :meth:`SubscriptionStore.add`;
+        this records each re-insertion's :class:`StoreDecision` in order,
+        which is what lets the matching engine update its cover forest and
+        matcher indexes incrementally instead of rebuilding them.
+    promoted:
+        The re-inserted subscriptions that returned to the active set.
+    """
+
+    subscription: Optional[Subscription]
+    was_active: bool = False
+    reinsertions: Tuple[StoreDecision, ...] = ()
+    promoted: Tuple[Subscription, ...] = ()
 
 
 class SubscriptionStore:
@@ -209,20 +242,30 @@ class SubscriptionStore:
         forwarded by the owning broker) — the promotion mechanism described
         in Section 5.  Returns the promoted subscriptions.
         """
-        removed_active = False
+        return self.remove_detailed(subscription_id).promoted
+
+    def remove_detailed(self, subscription_id: str) -> RemovalOutcome:
+        """Like :meth:`remove`, but reporting the full :class:`RemovalOutcome`.
+
+        The per-orphan re-insertion decisions let callers that mirror the
+        store (the matching engine's cover forest and matcher backends)
+        apply the removal incrementally instead of rebuilding from the
+        pools.
+        """
+        removed: Optional[Subscription] = None
         for index, subscription in enumerate(self._active):
             if subscription.id == subscription_id:
                 del self._active[index]
-                removed_active = True
+                removed = subscription
                 break
-        if not removed_active:
+        if removed is None:
             for index, subscription in enumerate(self._covered):
                 if subscription.id == subscription_id:
                     del self._covered[index]
                     self.cover_links.pop(subscription_id, None)
                     self.stats["removed"] += 1
-                    return ()
-            return ()
+                    return RemovalOutcome(subscription, was_active=False)
+            return RemovalOutcome(None)
 
         self.stats["removed"] += 1
         # Promote covered subscriptions that referenced the departed coverer.
@@ -231,16 +274,23 @@ class SubscriptionStore:
             for subscription in self._covered
             if subscription_id in self.cover_links.get(subscription.id, ())
         ]
+        reinsertions: List[StoreDecision] = []
         promoted: List[Subscription] = []
         for orphan in orphans:
             self._covered.remove(orphan)
             self.cover_links.pop(orphan.id, None)
             decision = self.add(orphan)
             self.stats["added"] -= 1  # re-insertion is not a new arrival
+            reinsertions.append(decision)
             if decision.forwarded:
                 promoted.append(orphan)
                 self.stats["promoted"] += 1
-        return tuple(promoted)
+        return RemovalOutcome(
+            removed,
+            was_active=True,
+            reinsertions=tuple(reinsertions),
+            promoted=tuple(promoted),
+        )
 
     def __len__(self) -> int:
         return self.total_count

@@ -5,19 +5,39 @@ the paper: publications are matched against the *active* (uncovered)
 subscriptions first and the covered subscriptions are consulted only when
 an active subscription matched.  The optional multi-level cover index
 (:class:`CoverForest`) implements the optimisation sketched at the end of
-Section 4.4, and two classical matching indexes (counting and selectivity)
-are provided as baselines for the micro-benchmarks.
+Section 4.4.
+
+Membership tests are delegated to pluggable matcher backends
+(:mod:`repro.matching.backends`): ``linear`` (the seed scan, kept as
+oracle), ``counting`` (Yan & Garcia-Molina counting algorithm) and
+``selectivity`` (Carzaniga & Wolf selectivity-ordered elimination), the
+latter two backed by incrementally maintained vectorised NumPy indexes
+(:class:`CountingIndex`, :class:`SelectivityIndex`).
 """
 
+from repro.matching.backends import (
+    BACKEND_NAMES,
+    CountingBackend,
+    LinearBackend,
+    MatcherBackend,
+    SelectivityBackend,
+    make_backend,
+)
 from repro.matching.cover_index import CoverForest
 from repro.matching.counting_index import CountingIndex
 from repro.matching.engine import MatchingEngine, MatchResult
 from repro.matching.selectivity_index import SelectivityIndex
 
 __all__ = [
+    "BACKEND_NAMES",
+    "CountingBackend",
     "CoverForest",
     "CountingIndex",
+    "LinearBackend",
+    "MatcherBackend",
     "MatchingEngine",
     "MatchResult",
+    "SelectivityBackend",
     "SelectivityIndex",
+    "make_backend",
 ]

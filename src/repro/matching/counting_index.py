@@ -9,14 +9,24 @@ the number of attributes.
 
 This implementation keeps per-attribute bound arrays and evaluates each
 attribute with vectorised comparisons, which is the natural NumPy
-realisation of the counting strategy.  It serves as a deterministic
-baseline for the matching micro-benchmarks and as an independent test
-oracle for the matching engine.
+realisation of the counting strategy.  Maintenance is *incremental*:
+``add`` appends a row into a geometrically grown bound matrix and
+``remove`` tombstones the row in an alive mask; tombstones are compacted
+away (preserving insertion order) once they rival the live rows, so
+neither operation ever rebuilds the index and a match is a single
+vectorised pass over at most ``2 × live`` rows.  ``match_batch`` stacks a
+burst of publications into one comparison, amortising the per-call array
+setup.
+
+The index serves as a deterministic baseline for the matching
+micro-benchmarks, as an independent test oracle for the matching engine,
+and as the storage behind the engine's ``counting`` matcher backend
+(:mod:`repro.matching.backends`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,26 +37,47 @@ from repro.model.subscriptions import Subscription
 
 __all__ = ["CountingIndex"]
 
+#: smallest array capacity allocated (and smallest tombstone debt compacted)
+_MIN_CAPACITY = 8
+#: bound on the boolean workspace of one batched match, in array cells
+_BATCH_CELL_BUDGET = 4_000_000
+
 
 class CountingIndex:
     """Vectorised counting-algorithm index over a fixed schema."""
 
     def __init__(self, schema: Schema):
         self.schema = schema
-        self._subscriptions: List[Subscription] = []
-        self._lows: Optional[np.ndarray] = None
-        self._highs: Optional[np.ndarray] = None
-        self._dirty = False
+        self._lows = np.empty((0, schema.m), dtype=float)
+        self._highs = np.empty((0, schema.m), dtype=float)
+        self._alive = np.empty(0, dtype=bool)
+        #: rows in use, tombstones included
+        self._size = 0
+        self._dead = 0
+        self._subscriptions: List[Optional[Subscription]] = []
+        self._rows: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def add(self, subscription: Subscription) -> None:
-        """Index a subscription."""
+        """Index a subscription (appends one row; never rebuilds)."""
         if subscription.schema != self.schema:
             raise ValidationError("subscription schema does not match the index")
+        if subscription.id in self._rows:
+            raise ValidationError(
+                f"subscription {subscription.id!r} is already indexed"
+            )
+        row = self._size
+        if row == len(self._alive):
+            self._grow()
+        self._lows[row] = subscription.lows
+        self._highs[row] = subscription.highs
+        self._alive[row] = True
         self._subscriptions.append(subscription)
-        self._dirty = True
+        self._rows[subscription.id] = row
+        self._size += 1
+        self._on_add(row)
 
     def add_all(self, subscriptions: Sequence[Subscription]) -> None:
         """Index many subscriptions at once."""
@@ -54,22 +85,56 @@ class CountingIndex:
             self.add(subscription)
 
     def remove(self, subscription_id: str) -> bool:
-        """Remove a subscription by identifier."""
-        for index, subscription in enumerate(self._subscriptions):
-            if subscription.id == subscription_id:
-                del self._subscriptions[index]
-                self._dirty = True
-                return True
-        return False
+        """Remove a subscription by identifier (tombstones its row)."""
+        row = self._rows.pop(subscription_id, None)
+        if row is None:
+            return False
+        self._on_remove(row)
+        self._alive[row] = False
+        self._subscriptions[row] = None
+        self._dead += 1
+        if self._dead >= _MIN_CAPACITY and 2 * self._dead >= self._size:
+            self._compact()
+        return True
 
-    def _rebuild(self) -> None:
-        if self._subscriptions:
-            self._lows = np.vstack([s.lows for s in self._subscriptions])
-            self._highs = np.vstack([s.highs for s in self._subscriptions])
-        else:
-            self._lows = np.empty((0, self.schema.m), dtype=float)
-            self._highs = np.empty((0, self.schema.m), dtype=float)
-        self._dirty = False
+    def _grow(self) -> None:
+        capacity = max(_MIN_CAPACITY, 2 * len(self._alive))
+        lows = np.empty((capacity, self.schema.m), dtype=float)
+        highs = np.empty((capacity, self.schema.m), dtype=float)
+        alive = np.zeros(capacity, dtype=bool)
+        lows[: self._size] = self._lows[: self._size]
+        highs[: self._size] = self._highs[: self._size]
+        alive[: self._size] = self._alive[: self._size]
+        self._lows, self._highs, self._alive = lows, highs, alive
+
+    def _compact(self) -> None:
+        """Drop tombstoned rows, preserving the insertion order of the rest."""
+        keep = np.nonzero(self._alive[: self._size])[0]
+        live = int(keep.size)
+        capacity = max(_MIN_CAPACITY, live)
+        lows = np.empty((capacity, self.schema.m), dtype=float)
+        highs = np.empty((capacity, self.schema.m), dtype=float)
+        alive = np.zeros(capacity, dtype=bool)
+        lows[:live] = self._lows[keep]
+        highs[:live] = self._highs[keep]
+        alive[:live] = True
+        subscriptions = [self._subscriptions[int(i)] for i in keep]
+        self._lows, self._highs, self._alive = lows, highs, alive
+        self._subscriptions = subscriptions
+        self._rows = {s.id: i for i, s in enumerate(subscriptions)}
+        self._size = live
+        self._dead = 0
+        self._on_compact()
+
+    # Hooks for subclasses that keep per-attribute statistics.
+    def _on_add(self, row: int) -> None:
+        pass
+
+    def _on_remove(self, row: int) -> None:
+        pass
+
+    def _on_compact(self) -> None:
+        pass
 
     # ------------------------------------------------------------------
     # Matching
@@ -78,19 +143,54 @@ class CountingIndex:
         """Return every indexed subscription matching ``publication``."""
         if publication.schema != self.schema:
             raise ValidationError("publication schema does not match the index")
-        if self._dirty or self._lows is None:
-            self._rebuild()
-        if not self._subscriptions:
+        if not self._rows:
             return []
-        values = publication.values[np.newaxis, :]
-        satisfied = (self._lows <= values) & (values <= self._highs)
-        counts = satisfied.sum(axis=1)
-        hits = np.nonzero(counts == self.schema.m)[0]
-        return [self._subscriptions[i] for i in hits]
+        values = publication.values
+        lows = self._lows[: self._size]
+        highs = self._highs[: self._size]
+        satisfied = (lows <= values) & (values <= highs)
+        hits = np.nonzero(satisfied.all(axis=1) & self._alive[: self._size])[0]
+        return [self._subscriptions[int(i)] for i in hits]
+
+    def match_batch(
+        self, publications: Sequence[Publication]
+    ) -> List[List[Subscription]]:
+        """Match a burst of publications in one (chunked) vectorised pass.
+
+        Equivalent to ``[self.match(p) for p in publications]`` but the
+        bound arrays are set up once and compared against the whole burst,
+        chunked so the boolean workspace stays within a fixed budget.
+        """
+        publications = list(publications)
+        for publication in publications:
+            if publication.schema != self.schema:
+                raise ValidationError(
+                    "publication schema does not match the index"
+                )
+        if not self._rows:
+            return [[] for _ in publications]
+        rows = self._size
+        lows = self._lows[:rows][np.newaxis, :, :]
+        highs = self._highs[:rows][np.newaxis, :, :]
+        alive = self._alive[:rows]
+        chunk = max(1, _BATCH_CELL_BUDGET // max(1, rows * self.schema.m))
+        results: List[List[Subscription]] = []
+        for start in range(0, len(publications), chunk):
+            batch = publications[start : start + chunk]
+            values = np.stack([p.values for p in batch])[:, np.newaxis, :]
+            satisfied = (lows <= values) & (values <= highs)
+            ok = satisfied.all(axis=2) & alive
+            for i in range(len(batch)):
+                hits = np.nonzero(ok[i])[0]
+                results.append([self._subscriptions[int(j)] for j in hits])
+        return results
 
     def match_count(self, publication: Publication) -> int:
         """Number of matching subscriptions (cheaper than materialising)."""
         return len(self.match(publication))
 
     def __len__(self) -> int:
-        return len(self._subscriptions)
+        return len(self._rows)
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return subscription_id in self._rows

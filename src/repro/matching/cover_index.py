@@ -98,6 +98,69 @@ class CoverForest:
             self._nodes[new_parent_id].children.append(node)
             self._parent[subscription_id] = new_parent_id
 
+    def remove_splice(self, subscription_id: str) -> Tuple[Subscription, ...]:
+        """Remove one node, splicing its children onto its parent.
+
+        Covering is transitive, so re-attaching the children (with their
+        whole subtrees) below the removed node's parent preserves the
+        forest invariant without touching any other node — this is the
+        O(children) alternative to rebuilding the forest on removal.
+
+        When the removed node was a *root*, the children have no
+        grandparent to splice onto and become roots themselves; those
+        subscriptions are returned so the caller can decide whether root
+        status (i.e. active status) is semantically right for them.
+        """
+        node = self._nodes.pop(subscription_id, None)
+        if node is None:
+            return ()
+        parent_id = self._parent.pop(subscription_id, None)
+        if parent_id is None:
+            self._roots.pop(subscription_id, None)
+            for child in node.children:
+                self._roots[child.subscription.id] = child
+                self._parent[child.subscription.id] = None
+            return tuple(child.subscription for child in node.children)
+        parent = self._nodes[parent_id]
+        parent.children = [
+            child for child in parent.children
+            if child.subscription.id != subscription_id
+        ]
+        for child in node.children:
+            parent.children.append(child)
+            self._parent[child.subscription.id] = parent_id
+        return ()
+
+    def extract_subtree(self, subscription_id: str) -> Tuple[Subscription, ...]:
+        """Detach a node and its whole subtree from the forest.
+
+        Returns every removed subscription (the node first, then its
+        descendants in walk order).  Used when a subscription stops having
+        a single coverer in the forest: the subtree members stay covered
+        by the active *union* and move to the engine's flat group bucket.
+        """
+        node = self._nodes.get(subscription_id)
+        if node is None:
+            raise KeyError(f"unknown subscription {subscription_id!r}")
+        parent_id = self._parent.get(subscription_id)
+        if parent_id is None:
+            self._roots.pop(subscription_id, None)
+        else:
+            parent = self._nodes[parent_id]
+            parent.children = [
+                child for child in parent.children
+                if child.subscription.id != subscription_id
+            ]
+        members: List[Subscription] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            members.append(current.subscription)
+            self._nodes.pop(current.subscription.id, None)
+            self._parent.pop(current.subscription.id, None)
+            stack.extend(current.children)
+        return tuple(members)
+
     def remove(self, subscription_id: str) -> Tuple[Subscription, ...]:
         """Remove a subscription; its children are re-rooted and returned.
 

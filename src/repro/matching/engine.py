@@ -8,13 +8,35 @@ flat scan (the paper's base algorithm) or through the multi-level
 :class:`~repro.matching.cover_index.CoverForest` (the paper's
 optimisation).
 
+Membership tests are not performed by the engine itself: they are
+delegated to a pluggable :class:`~repro.matching.backends.MatcherBackend`
+(one instance for the active set, one for the covered set), selected by
+name:
+
+``linear``
+    The seed behaviour, kept as the oracle — a flat active scan plus
+    (with ``use_cover_forest``) the multi-level covered walk.
+``counting`` / ``selectivity``
+    Vectorised NumPy indexes; the covered set is tested with one flat
+    vectorised pass, gated — exactly as Algorithm 5 requires — on at
+    least one active subscription matching.
+
 Soundness of the multi-level structure: a covered subscription is attached
 below another subscription only when that parent *pair-wise covers* it, so
 pruning a non-matching subtree can never lose a notification.  Subscriptions
 covered only by a *union* of subscriptions (the group policy's new case)
 are kept in a flat bucket that is scanned whenever any active subscription
 matched — exactly the fallback behaviour of Algorithm 5 — because no single
-parent is guaranteed to dominate them.
+parent is guaranteed to dominate them.  The same gating argument makes the
+vectorised covered pass equivalent: a covered subscription can only match
+when its (transitive) coverers match, so every backend reports the same
+matched set.
+
+Unsubscription is incremental: the store reports what it did
+(:class:`~repro.core.store.RemovalOutcome`) and the engine splices the
+cover forest around the departed subscription — children move to their
+grandparent or are re-rooted — instead of rebuilding the forest from the
+pools.
 
 The engine owns a :class:`~repro.core.store.SubscriptionStore`, so it also
 exposes the subscribe/unsubscribe workflow used by the examples and by the
@@ -24,10 +46,16 @@ broker simulator's local-client handling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.store import CoveringPolicyName, StoreDecision, SubscriptionStore
+from repro.core.store import (
+    CoveringPolicyName,
+    RemovalOutcome,
+    StoreDecision,
+    SubscriptionStore,
+)
 from repro.core.subsumption import SubsumptionChecker
+from repro.matching.backends import make_backend
 from repro.matching.cover_index import CoverForest
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
@@ -51,7 +79,8 @@ class MatchResult:
         Membership tests performed against the active set.
     covered_tests:
         Membership tests performed against covered subscriptions (0 when no
-        active subscription matched, by Algorithm 5).
+        active subscription matched, by Algorithm 5).  Vectorised backends
+        charge one test per candidate row consulted.
     """
 
     publication: Publication
@@ -87,7 +116,12 @@ class MatchingEngine:
     use_cover_forest:
         Whether pair-wise-covered subscriptions are organised in the
         multi-level structure (Section 4.4 optimisation) instead of a flat
-        list.
+        list.  Only meaningful for the ``linear`` backend; the vectorised
+        backends always test the covered set with one flat vectorised
+        pass.
+    backend:
+        Matcher backend the membership tests are delegated to (one of
+        :data:`~repro.matching.backends.BACKEND_NAMES`).
     """
 
     def __init__(
@@ -95,9 +129,20 @@ class MatchingEngine:
         policy: CoveringPolicyName = CoveringPolicyName.GROUP,
         checker: Optional[SubsumptionChecker] = None,
         use_cover_forest: bool = True,
+        backend: str = "linear",
     ):
         self.store = SubscriptionStore(policy=policy, checker=checker)
+        self.backend = backend
         self.use_cover_forest = use_cover_forest
+        #: the forest is worth maintaining only for the linear backend —
+        #: the vectorised covered pass replaces the multi-level walk
+        self._use_forest = use_cover_forest and backend == "linear"
+        self._active_index = make_backend(backend)
+        #: only consulted (and therefore only maintained) when the covered
+        #: set is tested flat; the forest replaces it for linear+forest
+        self._covered_index = make_backend(backend)
+        #: identifiers of every stored subscription (O(1) duplicate guard)
+        self._ids: set = set()
         self._forest = CoverForest()
         self._group_covered: List[Subscription] = []
         #: cumulative counters for the micro-benchmarks
@@ -112,11 +157,41 @@ class MatchingEngine:
     # Subscription management
     # ------------------------------------------------------------------
     def subscribe(self, subscription: Subscription) -> StoreDecision:
-        """Register a subscription, returning the store's decision."""
+        """Register a subscription, returning the store's decision.
+
+        Raises :class:`ValueError` for an identifier the engine already
+        holds — *before* any state is touched, so the store and the
+        matcher indexes can never diverge.
+        """
+        if subscription.id in self._ids:
+            raise ValueError(
+                f"subscription {subscription.id!r} is already registered"
+            )
         decision = self.store.add(subscription)
-        if self.use_cover_forest:
+        self._ids.add(subscription.id)
+        self._apply_decision(decision)
+        if self._use_forest:
             self._sync_forest(decision)
         return decision
+
+    def _apply_decision(self, decision: StoreDecision, rejoining: bool = False) -> None:
+        """Mirror one store decision into the matcher indexes.
+
+        ``rejoining`` marks an unsubscription re-insertion: the
+        subscription currently sits in the covered index and must leave it
+        first (re-appending a re-covered one mirrors the store's ordering).
+        """
+        subscription = decision.subscription
+        if rejoining and not self._use_forest:
+            self._covered_index.remove(subscription.id)
+        if decision.forwarded:
+            self._active_index.add(subscription)
+            for demoted in decision.demoted:
+                self._active_index.remove(demoted.id)
+                if not self._use_forest:
+                    self._covered_index.add(demoted)
+        elif not self._use_forest:
+            self._covered_index.add(subscription)
 
     def subscribe_all(
         self, subscriptions: Iterable[Subscription]
@@ -125,11 +200,25 @@ class MatchingEngine:
         return [self.subscribe(subscription) for subscription in subscriptions]
 
     def unsubscribe(self, subscription_id: str) -> Tuple[Subscription, ...]:
-        """Remove a subscription; returns promoted covered subscriptions."""
-        promoted = self.store.remove(subscription_id)
-        if self.use_cover_forest:
-            self._rebuild_forest()
-        return promoted
+        """Remove a subscription; returns promoted covered subscriptions.
+
+        The removal is incremental end to end: the matcher indexes drop or
+        move only the affected subscriptions, and the cover forest is
+        spliced around the departed node instead of being rebuilt.
+        """
+        outcome = self.store.remove_detailed(subscription_id)
+        if outcome.subscription is None:
+            return ()
+        self._ids.discard(subscription_id)
+        if outcome.was_active:
+            self._active_index.remove(subscription_id)
+        elif not self._use_forest:
+            self._covered_index.remove(subscription_id)
+        for decision in outcome.reinsertions:
+            self._apply_decision(decision, rejoining=True)
+        if self._use_forest:
+            self._forest_remove(outcome)
+        return outcome.promoted
 
     def _sync_forest(self, decision: StoreDecision) -> None:
         subscription = decision.subscription
@@ -156,26 +245,82 @@ class MatchingEngine:
                 return candidate_id
         return None
 
-    def _rebuild_forest(self) -> None:
-        self._forest = CoverForest()
-        self._group_covered = []
-        for active in self.store.active:
-            self._forest.add_root(active)
-        for covered in self.store.covered:
-            parent_id = None
-            for candidate_id in self.store.cover_links.get(covered.id, ()):
-                candidate = self.store.find(candidate_id)
-                if (
-                    candidate is not None
-                    and candidate_id in self._forest
-                    and candidate.covers(covered)
-                ):
-                    parent_id = candidate_id
-                    break
-            if parent_id is not None:
-                self._forest.add_covered(covered, parent_id)
+    # ------------------------------------------------------------------
+    # Incremental forest maintenance on unsubscription
+    # ------------------------------------------------------------------
+    def _forest_remove(self, outcome: RemovalOutcome) -> None:
+        removed_id = outcome.subscription.id
+        if not outcome.was_active:
+            # A covered subscription left: splice its children onto its
+            # parent (covering is transitive) or drop it from the group
+            # bucket.  Covered nodes always have a parent, so nothing is
+            # ever promoted to root here.
+            if removed_id in self._forest:
+                self._forest.remove_splice(removed_id)
             else:
-                self._group_covered.append(covered)
+                self._drop_group(removed_id)
+            return
+        # An active root left.  Every forest child of a node carries its
+        # parent in its cover links, so each child of the departed root is
+        # one of the store's re-inserted orphans and is resettled below.
+        for decision in outcome.reinsertions:
+            self._resettle(decision)
+        # Defensive: if any child survived the resettling pass it must not
+        # masquerade as an active root — demote it (with its subtree) to
+        # the group bucket, which is always sound to scan.
+        for stray in self._forest.remove_splice(removed_id):
+            if stray.id in self._forest:
+                self._group_covered.extend(
+                    self._forest.extract_subtree(stray.id)
+                )
+
+    def _resettle(self, decision: StoreDecision) -> None:
+        """Re-home one orphan after its coverer left, mirroring the store.
+
+        The orphan may sit in the forest (with a whole subtree of its own)
+        or in the flat group bucket; the store's re-insertion decision says
+        where it belongs now.
+        """
+        subscription = decision.subscription
+        subscription_id = subscription.id
+        in_forest = subscription_id in self._forest
+        if decision.forwarded:
+            # Promoted to active: becomes a root, keeping its subtree.
+            if in_forest:
+                self._forest.reparent(subscription_id, None)
+            else:
+                self._drop_group(subscription_id)
+                self._forest.add_root(subscription)
+            for demoted in decision.demoted:
+                if demoted.id in self._forest:
+                    self._forest.reparent(demoted.id, subscription_id)
+            return
+        coverer_id = self._single_coverer(decision)
+        if coverer_id is not None and coverer_id in self._forest:
+            # Re-covered pair-wise: hang it (and its subtree) below the new
+            # coverer.  The coverer is an active root, never part of the
+            # orphan's own subtree, so no cycle can form.
+            if in_forest:
+                self._forest.reparent(subscription_id, coverer_id)
+            else:
+                self._drop_group(subscription_id)
+                self._forest.add_covered(subscription, coverer_id)
+            return
+        # Covered only by the union of the active set: the whole subtree
+        # loses its single-coverer chain and moves to the group bucket.
+        if in_forest:
+            self._group_covered.extend(
+                self._forest.extract_subtree(subscription_id)
+            )
+        elif all(s.id != subscription_id for s in self._group_covered):
+            self._group_covered.append(subscription)
+
+    def _drop_group(self, subscription_id: str) -> None:
+        self._group_covered = [
+            subscription
+            for subscription in self._group_covered
+            if subscription.id != subscription_id
+        ]
 
     # ------------------------------------------------------------------
     # Views
@@ -199,33 +344,49 @@ class MatchingEngine:
     def match(self, publication: Publication) -> MatchResult:
         """Match a publication following Algorithm 5."""
         self.stats["publications"] += 1
-        matched: List[Subscription] = []
-        active_tests = 0
-        matched_active_ids: List[str] = []
-        for subscription in self.store.active:
-            active_tests += 1
-            if subscription.contains_point(publication.values):
-                matched.append(subscription)
-                matched_active_ids.append(subscription.id)
+        active_matched, active_tests = self._active_index.match_candidates(
+            publication
+        )
+        matched, covered_tests = self._match_covered(publication, active_matched)
+        return self._build_result(publication, matched, active_tests, covered_tests)
 
-        covered_tests = 0
-        if matched:
-            if self.use_cover_forest:
-                below, tests = self._forest.match_below(
-                    publication, matched_active_ids
-                )
-                covered_tests += tests
-                matched.extend(below)
-                for subscription in self._group_covered:
-                    covered_tests += 1
-                    if subscription.contains_point(publication.values):
-                        matched.append(subscription)
-            else:
-                for subscription in self.store.covered:
-                    covered_tests += 1
-                    if subscription.contains_point(publication.values):
-                        matched.append(subscription)
+    def _match_covered(
+        self, publication: Publication, active_matched: List[Subscription]
+    ) -> Tuple[List[Subscription], int]:
+        """Extend the active matches with covered ones, per Algorithm 5.
 
+        The covered set is consulted only when an active subscription
+        matched — through the forest walk for the linear backend, or with
+        one flat (vectorised) pass otherwise.
+        """
+        matched = list(active_matched)
+        if not matched:
+            return matched, 0
+        if self._use_forest:
+            covered_tests = 0
+            below, tests = self._forest.match_below(
+                publication, [s.id for s in active_matched]
+            )
+            covered_tests += tests
+            matched.extend(below)
+            for subscription in self._group_covered:
+                covered_tests += 1
+                if subscription.contains_point(publication.values):
+                    matched.append(subscription)
+            return matched, covered_tests
+        covered_matched, covered_tests = self._covered_index.match_candidates(
+            publication
+        )
+        matched.extend(covered_matched)
+        return matched, covered_tests
+
+    def _build_result(
+        self,
+        publication: Publication,
+        matched: List[Subscription],
+        active_tests: int,
+        covered_tests: int,
+    ) -> MatchResult:
         subscribers = tuple(
             dict.fromkeys(
                 subscription.subscriber
@@ -247,3 +408,46 @@ class MatchingEngine:
     def match_all(self, publications: Iterable[Publication]) -> List[MatchResult]:
         """Match a stream of publications."""
         return [self.match(publication) for publication in publications]
+
+    def match_batch(
+        self, publications: Sequence[Publication]
+    ) -> List[MatchResult]:
+        """Match a publication burst, amortising per-call matcher setup.
+
+        Produces exactly the results (and statistics) of matching the
+        publications one by one, but vectorised backends evaluate the
+        whole burst against the active set in one pass, and the covered
+        set in one pass over the publications that had an active hit.
+        """
+        publications = list(publications)
+        active_results = self._active_index.match_batch(publications)
+        covered_results: Dict[int, Tuple[List[Subscription], int]] = {}
+        if not self._use_forest:
+            need = [
+                position
+                for position, (active_matched, _tests) in enumerate(active_results)
+                if active_matched
+            ]
+            if need:
+                batch = self._covered_index.match_batch(
+                    [publications[position] for position in need]
+                )
+                covered_results = dict(zip(need, batch))
+        results: List[MatchResult] = []
+        for position, publication in enumerate(publications):
+            self.stats["publications"] += 1
+            active_matched, active_tests = active_results[position]
+            if self._use_forest or not active_matched:
+                matched, covered_tests = self._match_covered(
+                    publication, active_matched
+                )
+            else:
+                matched = list(active_matched)
+                covered_matched, covered_tests = covered_results[position]
+                matched.extend(covered_matched)
+            results.append(
+                self._build_result(
+                    publication, matched, active_tests, covered_tests
+                )
+            )
+        return results

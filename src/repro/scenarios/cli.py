@@ -6,20 +6,27 @@
     python -m repro.scenarios describe t1-churn       # spec + timeline
     python -m repro.scenarios run t1-churn --seed 7   # execute + report
     python -m repro.scenarios run t1-churn --seed 7 --trace run.jsonl
+    python -m repro.scenarios run t0-smoke --engine-backend selectivity
     python -m repro.scenarios replay run.jsonl        # byte-exact re-run
 
 ``run`` and ``replay`` print the same per-phase metric table; a replay of
 a recorded trace reproduces the original run's metrics exactly (wall
-times excepted).  ``--json`` emits the machine-readable report instead.
+times excepted).  ``--engine-backend`` selects the matcher backend
+(``linear``/``counting``/``selectivity``) the system under test matches
+publications with; the choice is folded into the spec, so traces record
+it and replays default to it.  ``--json`` emits the machine-readable
+report instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
 
+from repro.matching.backends import BACKEND_NAMES
 from repro.scenarios import catalog  # noqa: F401 - populates the registry
 from repro.scenarios.events import compile_scenario
 from repro.scenarios.registry import REGISTRY
@@ -77,6 +84,10 @@ def _cmd_describe(arguments: argparse.Namespace) -> int:
 
 def _cmd_run(arguments: argparse.Namespace) -> int:
     spec = _get_spec(arguments.name)
+    if arguments.engine_backend:
+        # Fold the override into the spec so the trace (and its hash)
+        # records exactly what ran and a bare `replay` reproduces it.
+        spec = dataclasses.replace(spec, engine_backend=arguments.engine_backend)
     compiled = compile_scenario(spec, arguments.seed)
     if arguments.trace:
         digest = write_trace(arguments.trace, compiled, backend=arguments.backend)
@@ -96,7 +107,10 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
     # Default to the backend the trace was recorded from, so a bare
     # `replay` reproduces the original run's metrics.
     backend = arguments.backend or compiled.recorded_backend or "network"
-    runner = ScenarioRunner(backend=backend)
+    engine_backend = (
+        arguments.engine_backend or compiled.recorded_engine_backend
+    )
+    runner = ScenarioRunner(backend=backend, engine_backend=engine_backend)
     report = runner.run(compiled)
     if arguments.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -132,6 +146,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="network",
         help="drive the broker overlay (default) or a single matching engine",
     )
+    run.add_argument(
+        "--engine-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="matcher backend to match publications with "
+             "(default: the spec's engine_backend field)",
+    )
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record the compiled event stream as a JSONL trace")
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
@@ -144,6 +165,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("network", "engine"),
         default=None,
         help="backend to replay against (default: the one the trace records)",
+    )
+    replay.add_argument(
+        "--engine-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="matcher backend to replay with "
+             "(default: the one the trace records)",
     )
     replay.add_argument("--no-verify", action="store_true",
                         help="skip the event-count / trace-hash check")

@@ -130,11 +130,14 @@ class ScenarioEvent:
 class CompiledScenario:
     """A spec materialised into a concrete, runnable event stream.
 
-    ``recorded_backend`` is only set on scenarios loaded from a trace whose
-    header names the backend the original run used; it is advisory replay
+    ``recorded_backend`` and ``recorded_engine_backend`` are only set on
+    scenarios loaded from a trace whose header names the runner backend /
+    matcher backend the original run used; they are advisory replay
     metadata, not part of the stream (and not part of the trace hash — the
     stream itself is backend-independent, and reports always display which
-    backend ran).
+    backends ran).  The matcher backend that *compiles into* the spec
+    (``ScenarioSpec.engine_backend``) is, by contrast, replay-binding and
+    hashed with the rest of the spec.
     """
 
     spec: ScenarioSpec
@@ -144,6 +147,7 @@ class CompiledScenario:
     clients: Dict[str, str]
     events: List[ScenarioEvent]
     recorded_backend: Optional[str] = None
+    recorded_engine_backend: Optional[str] = None
 
     @property
     def event_count(self) -> int:

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional
 from repro.broker.network import BrokerNetwork
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
+from repro.matching.backends import BACKEND_NAMES
 from repro.matching.engine import MatchingEngine
 from repro.scenarios.events import (
     CompiledScenario,
@@ -76,6 +77,7 @@ class ScenarioReport:
     event_count: int
     trace_hash: str
     wall_time: float
+    engine_backend: str = "linear"
     phases: List[PhaseReport] = field(default_factory=list)
     totals: Dict[str, float] = field(default_factory=dict)
 
@@ -113,6 +115,7 @@ class ScenarioReport:
             "tier": self.tier,
             "seed": self.seed,
             "backend": self.backend,
+            "engine_backend": self.engine_backend,
             "policy": self.policy,
             "brokers": self.brokers,
             "clients": self.clients,
@@ -156,7 +159,8 @@ class ScenarioReport:
         """ASCII table of the per-phase metric deltas plus a totals row."""
         header = [
             f"Scenario {self.scenario} ({self.tier}) — seed {self.seed}, "
-            f"backend {self.backend}, policy {self.policy}",
+            f"backend {self.backend}, matcher {self.engine_backend}, "
+            f"policy {self.policy}",
             f"brokers {self.brokers}, clients {self.clients}, "
             f"{self.event_count} events in {self.wall_time * 1000:.1f} ms "
             f"({self.events_per_second:,.0f} events/s), "
@@ -196,6 +200,10 @@ class ScenarioRunner:
     backend:
         ``network`` (broker overlay, full metrics) or ``engine`` (single
         matching engine, hot-loop throughput).
+    engine_backend:
+        Matcher backend override (one of
+        :data:`~repro.matching.backends.BACKEND_NAMES`); when ``None``
+        the spec's ``engine_backend`` field decides.
     """
 
     def __init__(
@@ -203,12 +211,22 @@ class ScenarioRunner:
         spec: Optional[ScenarioSpec] = None,
         seed: int = 0,
         backend: str = "network",
+        engine_backend: Optional[str] = None,
     ):
         if backend not in ("network", "engine"):
             raise ValueError(f"unknown backend {backend!r}")
+        if engine_backend is not None and engine_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown engine backend {engine_backend!r}; expected one "
+                f"of {BACKEND_NAMES}"
+            )
         self.spec = spec
         self.seed = seed
         self.backend = backend
+        self.engine_backend = engine_backend
+
+    def _engine_backend_for(self, compiled: CompiledScenario) -> str:
+        return self.engine_backend or compiled.spec.engine_backend
 
     # ------------------------------------------------------------------
     # Entry point
@@ -234,6 +252,7 @@ class ScenarioRunner:
     # ------------------------------------------------------------------
     def _run_network(self, compiled: CompiledScenario) -> ScenarioReport:
         spec = compiled.spec
+        engine_backend = self._engine_backend_for(compiled)
         network_rng = ensure_rng(derive_streams(compiled.seed)["network"])
         network = BrokerNetwork(
             compiled.edges,
@@ -241,6 +260,7 @@ class ScenarioRunner:
             delta=spec.delta,
             max_iterations=spec.max_iterations,
             rng=network_rng,
+            matcher_backend=engine_backend,
         )
         for client, broker in compiled.clients.items():
             network.attach_client(client, broker)
@@ -284,6 +304,7 @@ class ScenarioRunner:
             event_count=compiled.event_count,
             trace_hash=compiled.trace_hash(),
             wall_time=wall_time,
+            engine_backend=engine_backend,
             phases=phases,
             totals=network.metrics.summary(),
         )
@@ -293,12 +314,15 @@ class ScenarioRunner:
     # ------------------------------------------------------------------
     def _run_engine(self, compiled: CompiledScenario) -> ScenarioReport:
         spec = compiled.spec
+        engine_backend = self._engine_backend_for(compiled)
         checker = SubsumptionChecker(
             delta=spec.delta,
             max_iterations=spec.max_iterations,
             rng=ensure_rng(derive_streams(compiled.seed)["network"]),
         )
-        engine = MatchingEngine(policy=spec.policy, checker=checker)
+        engine = MatchingEngine(
+            policy=spec.policy, checker=checker, backend=engine_backend
+        )
 
         phases: List[PhaseReport] = []
         started = time.perf_counter()
@@ -345,6 +369,7 @@ class ScenarioRunner:
             event_count=compiled.event_count,
             trace_hash=compiled.trace_hash(),
             wall_time=wall_time,
+            engine_backend=engine_backend,
             phases=phases,
             totals=totals,
         )

@@ -26,6 +26,7 @@ from repro.broker.topologies import (
     star_topology,
 )
 from repro.core.store import CoveringPolicyName
+from repro.matching.backends import BACKEND_NAMES
 from repro.utils.rng import RandomSource
 
 __all__ = ["PhaseKind", "PhaseSpec", "TopologySpec", "ScenarioSpec"]
@@ -219,6 +220,13 @@ class ScenarioSpec:
         Error bound of the probabilistic checker (``group`` policy).
     max_iterations:
         RSPC guess cap per covering decision.
+    engine_backend:
+        Matcher backend the system under test matches publications with
+        (one of :data:`~repro.matching.backends.BACKEND_NAMES`): the
+        matching engine's membership indexes on the ``engine`` runner
+        backend, every broker's routing-table lookup on the ``network``
+        one.  Recorded in traces so replays reproduce the original
+        metrics exactly.
     phases:
         The workload timeline.
     tags:
@@ -235,11 +243,17 @@ class ScenarioSpec:
     policy: CoveringPolicyName = CoveringPolicyName.GROUP
     delta: float = 1e-6
     max_iterations: int = 200
+    engine_backend: str = "linear"
     phases: Sequence[PhaseSpec] = ()
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", CoveringPolicyName(self.policy))
+        if self.engine_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown engine backend {self.engine_backend!r}; expected "
+                f"one of {BACKEND_NAMES}"
+            )
         object.__setattr__(self, "workload_params", dict(self.workload_params))
         object.__setattr__(self, "phases", tuple(self.phases))
         object.__setattr__(self, "tags", tuple(self.tags))
@@ -263,8 +277,15 @@ class ScenarioSpec:
         return tuple(phase.name for phase in self.phases)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serialize to a plain dictionary (JSON-safe)."""
-        return {
+        """Serialize to a plain dictionary (JSON-safe).
+
+        The default ``engine_backend`` is omitted so that the serialized
+        form — and therefore the trace hash bound to it — of every spec
+        predating the backend seam is unchanged; only a non-default
+        backend (which genuinely changes the replay's metrics) alters the
+        hash.
+        """
+        payload: Dict[str, Any] = {
             "name": self.name,
             "tier": self.tier,
             "description": self.description,
@@ -278,6 +299,9 @@ class ScenarioSpec:
             "phases": [phase.to_dict() for phase in self.phases],
             "tags": list(self.tags),
         }
+        if self.engine_backend != "linear":
+            payload["engine_backend"] = self.engine_backend
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
@@ -293,6 +317,7 @@ class ScenarioSpec:
             policy=CoveringPolicyName(payload.get("policy", "group")),
             delta=payload.get("delta", 1e-6),
             max_iterations=payload.get("max_iterations", 200),
+            engine_backend=payload.get("engine_backend", "linear"),
             phases=[PhaseSpec.from_dict(item) for item in payload.get("phases", [])],
             tags=tuple(payload.get("tags", ())),
         )

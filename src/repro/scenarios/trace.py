@@ -4,7 +4,8 @@ A trace file is one header line followed by one line per event::
 
     {"kind": "repro.scenarios.trace", "version": 1, "seed": 7,
      "scenario": {...}, "schema": {...}, "edges": [...],
-     "clients": {...}, "event_count": 123, "trace_hash": "..."}
+     "clients": {...}, "event_count": 123, "trace_hash": "...",
+     "engine_backend": "linear"}
     {"seq": 1, "phase": "ramp", "action": "subscribe", ...}
     ...
 
@@ -50,8 +51,12 @@ def write_trace(
 ) -> str:
     """Write ``compiled`` as a JSONL trace; returns the trace hash.
 
-    ``backend`` records which backend the run used, so a later replay can
-    default to the same one (the event stream itself is backend-agnostic).
+    ``backend`` records which runner backend the run used, so a later
+    replay can default to the same one (the event stream itself is
+    backend-agnostic).  The header also mirrors the spec's matcher
+    backend (``engine_backend``) so a replay reproduces the original
+    metrics — including the per-backend membership-test counters —
+    byte-exactly.
     """
     digest = compiled.trace_hash()
     header: Dict[str, Any] = {
@@ -64,6 +69,7 @@ def write_trace(
         "clients": dict(compiled.clients),
         "event_count": compiled.event_count,
         "trace_hash": digest,
+        "engine_backend": compiled.spec.engine_backend,
     }
     if backend is not None:
         header["backend"] = backend
@@ -130,6 +136,7 @@ def read_trace(
         clients=clients,
         events=events,
         recorded_backend=header.get("backend"),
+        recorded_engine_backend=header.get("engine_backend"),
     )
     if verify:
         expected_count = header.get("event_count")
