@@ -1,0 +1,116 @@
+"""Throughput and behaviour of the virtual-time network kernel.
+
+Runs a scaled ``t2-burst`` workload through the broker overlay under each
+latency model and prints events/sec plus the kernel's latency percentiles
+and queue-depth high-water marks, so PRs touching the scheduler, the
+latency models or the message pump can catch both throughput regressions
+and accidental changes in the simulated timing behaviour.  A separate
+benchmark measures how much traffic egress batching saves on a burst
+crossing a single link.
+
+Set ``REPRO_PAPER=1`` to run the unscaled ``t2-burst`` tier.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import paper_scale
+
+from repro.broker import BrokerNetwork, CoveringPolicy, line_topology
+from repro.model import Publication, Schema, Subscription
+from repro.scenarios import ScenarioRunner, compile_scenario, get_scenario
+
+SEED = 20060331
+
+LATENCY_MODELS = ("zero", "fixed:0.5", "lognormal:0.0,0.5")
+
+
+def _spec():
+    spec = get_scenario("t2-burst")
+    if paper_scale():
+        return spec
+    # Laptop scale: shrink every phase to ~1/3 of the tier's volume.
+    phases = [
+        dataclasses.replace(
+            phase,
+            params={
+                key: (max(value // 3, 10) if isinstance(value, int) else value)
+                for key, value in phase.params.items()
+            },
+        )
+        for phase in spec.phases
+    ]
+    return dataclasses.replace(spec, phases=phases)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """The benchmark workload compiled once, shared by all models."""
+    return compile_scenario(_spec(), seed=SEED)
+
+
+@pytest.mark.parametrize("latency_model", LATENCY_MODELS)
+def test_kernel_throughput_per_latency_model(benchmark, compiled, latency_model):
+    """Events/sec of the overlay under each latency model."""
+    report = benchmark.pedantic(
+        lambda: ScenarioRunner(
+            backend="network", latency_model=latency_model
+        ).run(compiled),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.event_count == compiled.event_count
+    line = (
+        f"\n{compiled.spec.name} [{latency_model}]: "
+        f"{report.event_count} events, "
+        f"{report.events_per_second:,.0f} events/s"
+    )
+    if latency_model != "zero":
+        line += (
+            f", p50 {report.totals['delivery_latency_p50']:.3f}, "
+            f"p95 {report.totals['delivery_latency_p95']:.3f}, "
+            f"queue high-water {report.totals['queue_depth_high_water']}"
+        )
+    print(line)
+
+
+@pytest.mark.parametrize("batch_size", (1, 8, 64))
+def test_egress_batching_traffic(benchmark, batch_size):
+    """Message hops saved by egress batching on a single-link burst."""
+    schema = Schema.uniform_integer(4, 0, 10_000)
+    burst_size = 2_000 if paper_scale() else 500
+    burst = [
+        Publication.from_values(
+            schema,
+            {f"x{index % 4 + 1}": float(index % 10_000) for index in range(4)},
+            publication_id=f"p{index}",
+        )
+        for index in range(burst_size)
+    ]
+
+    def run():
+        network = BrokerNetwork(
+            line_topology(2),
+            policy=CoveringPolicy.NONE,
+            batch_size=batch_size,
+        )
+        network.attach_client("sub", "B1")
+        network.attach_client("pub", "B2")
+        network.subscribe(
+            "sub", Subscription.whole_space(schema, subscription_id="all")
+        )
+        network.publish_batch("pub", burst)
+        return network
+
+    network = benchmark.pedantic(run, rounds=3, iterations=1)
+    metrics = network.metrics
+    assert metrics.notifications == burst_size
+    assert metrics.missed == []
+    expected_hops = -(-burst_size // batch_size)  # ceil division
+    assert metrics.publication_messages == expected_hops
+    print(
+        f"\nbatch_size={batch_size}: {burst_size} publications in "
+        f"{metrics.publication_messages} hops "
+        f"({burst_size / metrics.publication_messages:.0f}x coalescing)"
+    )

@@ -15,12 +15,23 @@ from repro.broker.chain import ChainModel, simulate_chain_delivery
 from repro.broker.messages import (
     Message,
     NotificationRecord,
+    PublicationBatchMessage,
     PublicationMessage,
     SubscriptionMessage,
     UnsubscriptionMessage,
 )
 from repro.broker.metrics import MetricsSnapshot, NetworkMetrics
 from repro.broker.network import BrokerNetwork
+from repro.broker.sim import (
+    LATENCY_MODEL_NAMES,
+    EventKernel,
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+    ZeroLatency,
+    make_latency_model,
+    parse_latency_model,
+)
 from repro.broker.topologies import (
     grid_topology,
     line_topology,
@@ -34,16 +45,25 @@ __all__ = [
     "BrokerNetwork",
     "ChainModel",
     "CoveringPolicy",
+    "EventKernel",
+    "FixedLatency",
+    "LATENCY_MODEL_NAMES",
+    "LatencyModel",
+    "LognormalLatency",
     "Message",
     "MetricsSnapshot",
     "NetworkMetrics",
     "NotificationRecord",
+    "PublicationBatchMessage",
     "PublicationMessage",
     "SubscriptionMessage",
     "UnsubscriptionMessage",
+    "ZeroLatency",
     "grid_topology",
     "line_topology",
     "random_tree_topology",
     "simulate_chain_delivery",
     "star_topology",
+    "make_latency_model",
+    "parse_latency_model",
 ]

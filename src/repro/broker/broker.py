@@ -16,6 +16,7 @@ Brokers implement the behaviour described in Section 2 of the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -52,6 +53,11 @@ class SubscriptionDecision:
     forwarded: bool
     candidates_considered: int
     rspc_iterations: int = 0
+    #: identifiers of the previously forwarded subscriptions the decision
+    #: relied on to suppress forwarding (the single coverer under
+    #: ``pairwise``, the whole candidate set under ``group``); empty when
+    #: the subscription was forwarded
+    covered_by: Tuple[str, ...] = ()
 
 
 class Broker:
@@ -73,6 +79,15 @@ class Broker:
         Matcher backend of the routing table's forwarding lookup (one of
         :data:`~repro.matching.backends.BACKEND_NAMES`); observable
         routing behaviour is identical for every backend.
+    dedup_window:
+        Maximum number of recently seen publication identifiers kept for
+        loop suppression.  Duplicates can only arrive while a publication
+        is still in flight (each broker forwards it at most once), and the
+        network caps every timed drain at ``dedup_window`` concurrent
+        publications, so no identifier is ever evicted before its last
+        in-flight duplicate arrives; the bounded window therefore keeps
+        memory flat over unbounded publication streams without changing
+        delivery behaviour.
     """
 
     def __init__(
@@ -82,23 +97,41 @@ class Broker:
         policy: CoveringPolicyName = CoveringPolicyName.GROUP,
         checker: Optional[SubsumptionChecker] = None,
         matcher_backend: str = "linear",
+        dedup_window: int = 4096,
+        record_latencies: bool = False,
     ):
+        if dedup_window < 1:
+            raise ValueError("dedup_window must be positive")
         self.id = broker_id
         self.neighbors: List[str] = list(neighbors)
         self.policy = CoveringPolicyName(policy)
         self.checker = checker or SubsumptionChecker()
         self.matcher_backend = matcher_backend
         self.routing = RoutingTable(matcher_backend=matcher_backend)
+        self.dedup_window = dedup_window
         #: local subscribers attached to this broker
         self.local_subscribers: Set[str] = set()
         #: per-neighbour record of the subscriptions forwarded to it
         self.sent: Dict[str, Dict[str, "object"]] = {}
-        #: publications already processed (loop suppression)
-        self._seen_publications: Set[str] = set()
+        #: per-neighbour record of the subscriptions *withheld* from it:
+        #: neighbour -> suppressed subscription id -> identifiers of the
+        #: forwarded subscriptions whose coverage justified the suppression
+        #: (the re-advertisement dependencies of the unsubscription path)
+        self.suppressed: Dict[str, Dict[str, Set[str]]] = {}
+        #: recently processed publication ids (bounded loop suppression)
+        self._seen_publications: "OrderedDict[str, None]" = OrderedDict()
         #: covering decisions taken at this broker
         self.decisions: List[SubscriptionDecision] = []
         #: notifications delivered to local subscribers
         self.delivered: List[NotificationRecord] = []
+        #: whether to record per-notification delivery latency (enabled by
+        #: the network when a non-default latency model is active, so
+        #: untimed runs don't accumulate a list of zeros)
+        self.record_latencies = record_latencies
+        #: virtual-time delivery latency of each notification in
+        #: :attr:`delivered` (parallel list; empty unless
+        #: :attr:`record_latencies`)
+        self.delivered_latencies: List[float] = []
 
     # ------------------------------------------------------------------
     # Topology
@@ -142,6 +175,7 @@ class Broker:
                 neighbor=neighbor,
                 forwarded=not outcome.covered,
                 candidates_considered=len(candidates),
+                covered_by=(outcome.covering.id,) if outcome.covered else (),
             )
         result = self.checker.check(subscription, candidates)
         return SubscriptionDecision(
@@ -151,6 +185,13 @@ class Broker:
             forwarded=not result.covered,
             candidates_considered=len(candidates),
             rspc_iterations=result.iterations_performed,
+            # The group verdict is joint: any departure from the candidate
+            # set can break the cover, so every candidate is a dependency.
+            covered_by=(
+                tuple(candidate.id for candidate in candidates)
+                if result.covered
+                else ()
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -196,6 +237,9 @@ class Broker:
             decisions.append(decision)
             self.decisions.append(decision)
             if not decision.forwarded:
+                self.suppressed.setdefault(neighbor, {})[subscription.id] = set(
+                    decision.covered_by
+                )
                 continue
             self.sent.setdefault(neighbor, {})[subscription.id] = subscription
             outgoing.append(
@@ -205,38 +249,85 @@ class Broker:
                     hops=message.hops + 1,
                     subscription=subscription,
                     origin=message.origin or self.id,
+                    injected_at=message.injected_at,
+                    sent_at=message.delivered_at,
                 )
             )
         return outgoing, decisions
 
     def handle_unsubscription(
         self, message: UnsubscriptionMessage
-    ) -> List[Message]:
-        """Process an unsubscription, returning the outgoing messages."""
-        entry = self.routing.remove(message.subscription_id)
+    ) -> Tuple[List[Message], List[SubscriptionDecision]]:
+        """Process an unsubscription, returning outgoing messages + decisions.
+
+        Beyond cancelling the route on every link it was forwarded to, the
+        departure of a subscription can *uncover* subscriptions whose
+        forwarding it previously suppressed: those are re-checked against
+        the link's remaining forwarded set and re-advertised when no longer
+        covered, so downstream brokers regain the reverse path.  (Without
+        this, a covered subscription's route is silently lost forever the
+        moment its coverer unsubscribes.)  The re-check decisions are
+        returned so the network accounts for them like any other covering
+        decision.
+        """
+        uid = message.subscription_id
+        entry = self.routing.remove(uid)
         if entry is None:
-            return []
+            return [], []
         outgoing: List[Message] = []
+        decisions: List[SubscriptionDecision] = []
         for neighbor in self.neighbors:
             if neighbor == message.sender:
                 continue
-            forwarded_here = self.sent.get(neighbor, {}).pop(
-                message.subscription_id, None
-            )
+            suppressed_here = self.suppressed.get(neighbor, {})
+            # The departing subscription no longer needs re-advertising.
+            suppressed_here.pop(uid, None)
+            forwarded_here = self.sent.get(neighbor, {}).pop(uid, None)
             if forwarded_here is None:
                 # The neighbour never learnt about this subscription, so
-                # there is nothing to cancel in that direction.
+                # there is nothing to cancel in that direction — and no
+                # suppression on this link can have depended on it.
                 continue
             outgoing.append(
                 UnsubscriptionMessage(
                     sender=self.id,
                     recipient=neighbor,
                     hops=message.hops + 1,
-                    subscription_id=message.subscription_id,
+                    subscription_id=uid,
                     origin=message.origin,
+                    injected_at=message.injected_at,
+                    sent_at=message.delivered_at,
                 )
             )
-        return outgoing
+            # Re-advertise subscriptions whose suppression relied on the
+            # departed coverer and are no longer covered on this link.
+            dependents = [
+                sid for sid, covers in suppressed_here.items() if uid in covers
+            ]
+            for sid in dependents:
+                del suppressed_here[sid]
+                dependent = self.routing.get(sid)
+                if dependent is None:
+                    continue
+                decision = self._coverage_decision(dependent.subscription, neighbor)
+                decisions.append(decision)
+                self.decisions.append(decision)
+                if not decision.forwarded:
+                    suppressed_here[sid] = set(decision.covered_by)
+                    continue
+                self.sent.setdefault(neighbor, {})[sid] = dependent.subscription
+                outgoing.append(
+                    SubscriptionMessage(
+                        sender=self.id,
+                        recipient=neighbor,
+                        hops=message.hops + 1,
+                        subscription=dependent.subscription,
+                        origin=dependent.origin or self.id,
+                        injected_at=message.injected_at,
+                        sent_at=message.delivered_at,
+                    )
+                )
+        return outgoing, decisions
 
     def handle_publication(self, message: PublicationMessage) -> List[Message]:
         """Process a publication, delivering locally and forwarding.
@@ -249,7 +340,9 @@ class Broker:
         publication = message.publication
         if publication.id in self._seen_publications:
             return []
-        self._seen_publications.add(publication.id)
+        self._seen_publications[publication.id] = None
+        while len(self._seen_publications) > self.dedup_window:
+            self._seen_publications.popitem(last=False)
 
         matching = self.routing.matching_entries(publication)
         targets: List[str] = []
@@ -263,6 +356,10 @@ class Broker:
                         publication_id=publication.id,
                     )
                 )
+                if self.record_latencies:
+                    self.delivered_latencies.append(
+                        message.delivered_at - message.injected_at
+                    )
             elif entry.source_id != message.sender and entry.source_id not in targets:
                 targets.append(entry.source_id)
 
@@ -273,6 +370,8 @@ class Broker:
                 hops=message.hops + 1,
                 publication=publication,
                 origin=message.origin or self.id,
+                injected_at=message.injected_at,
+                sent_at=message.delivered_at,
             )
             for target in targets
         ]

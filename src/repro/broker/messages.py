@@ -9,7 +9,7 @@ which is how the traffic results of the evaluation are produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
@@ -19,6 +19,7 @@ __all__ = [
     "SubscriptionMessage",
     "UnsubscriptionMessage",
     "PublicationMessage",
+    "PublicationBatchMessage",
     "NotificationRecord",
 ]
 
@@ -36,11 +37,29 @@ class Message:
         Identifier of the receiving broker.
     hops:
         Number of broker-to-broker hops travelled so far.
+    injected_at:
+        Virtual time at which the *original* client operation entered the
+        network; propagated unchanged across hops so end-to-end delivery
+        latency is ``delivered_at - injected_at`` at the delivering broker.
+    sent_at:
+        Virtual time at which this hop was handed to the simulation kernel.
+    delivered_at:
+        Virtual time at which the kernel delivered this hop to its
+        recipient (``sent_at`` plus the link's sampled latency, pushed
+        later if the link's FIFO order demands it).
     """
 
     sender: Optional[str]
     recipient: str
     hops: int = 0
+    injected_at: float = 0.0
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+    @property
+    def hop_latency(self) -> float:
+        """Virtual time this hop spent on the link."""
+        return self.delivered_at - self.sent_at
 
 
 @dataclass
@@ -67,6 +86,20 @@ class PublicationMessage(Message):
     publication: Publication = None  # type: ignore[assignment]
     #: broker where the publication entered the network
     origin: str = ""
+
+
+@dataclass
+class PublicationBatchMessage(Message):
+    """Several publications coalesced into one hop on the same link.
+
+    Produced by the simulation kernel's egress batching: a broker that
+    emits multiple publications toward the same neighbour within a batch
+    window pays one message hop (and one sampled link latency) for the
+    whole group.  The recipient unpacks and processes the contained
+    publication messages in their original emission order.
+    """
+
+    messages: List[PublicationMessage] = field(default_factory=list)
 
 
 @dataclass(frozen=True)

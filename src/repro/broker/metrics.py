@@ -1,13 +1,39 @@
-"""Network-wide traffic and delivery metrics."""
+"""Network-wide traffic, delivery and latency metrics."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.broker.messages import NotificationRecord
 
 __all__ = ["MetricsSnapshot", "NetworkMetrics"]
+
+#: snapshot fields that support interval bookkeeping but are not counter
+#: deltas — excluded from :meth:`MetricsSnapshot.diff` output so the
+#: per-phase metric dictionaries of latency-free runs are unchanged
+_BOOKKEEPING_FIELDS = (
+    "delivery_latency_count",
+    "queue_depth_high_water",
+    "batched_publications",
+)
+
+
+def _latency_stats(latencies: Sequence[float]) -> Dict[str, float]:
+    """Percentile summary of a latency sample (empty dict when empty)."""
+    if not len(latencies):
+        return {}
+    array = np.asarray(latencies, dtype=float)
+    p50, p95, p99 = np.percentile(array, (50.0, 95.0, 99.0))
+    return {
+        "delivery_latency_p50": round(float(p50), 6),
+        "delivery_latency_p95": round(float(p95), 6),
+        "delivery_latency_p99": round(float(p99), 6),
+        "delivery_latency_mean": round(float(array.mean()), 6),
+        "delivery_latency_max": round(float(array.max()), 6),
+    }
 
 
 @dataclass(frozen=True)
@@ -30,18 +56,28 @@ class MetricsSnapshot:
     suppressed_subscriptions: int = 0
     subsumption_checks: int = 0
     rspc_iterations: int = 0
+    #: number of delivery latencies recorded so far (interval bookkeeping)
+    delivery_latency_count: int = 0
+    #: kernel queue-depth high-water mark at snapshot time
+    queue_depth_high_water: int = 0
+    #: publications that travelled inside an egress batch so far
+    batched_publications: int = 0
 
     def diff(self, earlier: "MetricsSnapshot") -> Dict[str, float]:
         """Counter deltas from ``earlier`` to this snapshot.
 
         Returns a plain dictionary with one entry per counter plus the
         derived ``missed_notifications`` and ``delivery_ratio`` of the
-        interval.
+        interval.  Bookkeeping fields (latency sample counts, queue
+        high-water marks) are omitted; :meth:`NetworkMetrics.diff` layers
+        the latency statistics on top when latency tracking is active.
         """
         delta = {
             spec.name: getattr(self, spec.name) - getattr(earlier, spec.name)
             for spec in fields(self)
         }
+        for name in _BOOKKEEPING_FIELDS:
+            delta.pop(name, None)
         expected = delta["expected_notifications"]
         delivered = delta["notifications"]
         delta["missed_notifications"] = max(expected - delivered, 0)
@@ -63,7 +99,8 @@ class NetworkMetrics:
     unsubscription_messages:
         Broker-to-broker unsubscription message hops.
     publication_messages:
-        Broker-to-broker publication message hops.
+        Broker-to-broker publication message hops (an egress batch counts
+        as one hop however many publications it carries).
     notifications:
         Notifications delivered to local subscribers.
     expected_notifications:
@@ -75,10 +112,23 @@ class NetworkMetrics:
         because it was (probably) covered by what that neighbour already
         knows.
     subsumption_checks:
-        Number of per-link covering decisions taken by brokers.
+        Number of per-link covering decisions taken by brokers (including
+        the re-advertisement re-checks run when a coverer unsubscribes).
     rspc_iterations:
         Total random guesses spent by the probabilistic checker across the
         network.
+    batched_publications:
+        Publications that travelled inside an egress batch (0 unless the
+        kernel's ``batch_size`` > 1).
+    delivery_latencies:
+        Virtual-time end-to-end latency of every delivered notification,
+        in delivery order (all 0.0 under the zero latency model).
+    queue_depth_high_water:
+        Deepest the kernel's pending-delivery queue ever got.
+    track_latency:
+        Whether latency statistics belong in summaries and phase diffs
+        (set by the network when a non-default latency model is active, so
+        latency-free runs keep their historical metric dictionaries).
     """
 
     subscription_messages: int = 0
@@ -89,8 +139,15 @@ class NetworkMetrics:
     suppressed_subscriptions: int = 0
     subsumption_checks: int = 0
     rspc_iterations: int = 0
+    batched_publications: int = 0
+    queue_depth_high_water: int = 0
+    #: high-water mark of the current phase interval (reset at each
+    #: :meth:`~repro.broker.network.BrokerNetwork.mark_phase`)
+    phase_queue_depth_high_water: int = 0
+    track_latency: bool = False
     delivered: List[NotificationRecord] = field(default_factory=list)
     missed: List[NotificationRecord] = field(default_factory=list)
+    delivery_latencies: List[float] = field(default_factory=list)
 
     @property
     def delivery_ratio(self) -> float:
@@ -115,15 +172,47 @@ class NetworkMetrics:
             suppressed_subscriptions=self.suppressed_subscriptions,
             subsumption_checks=self.subsumption_checks,
             rspc_iterations=self.rspc_iterations,
+            delivery_latency_count=len(self.delivery_latencies),
+            queue_depth_high_water=self.queue_depth_high_water,
+            batched_publications=self.batched_publications,
         )
 
     def diff(self, earlier: MetricsSnapshot) -> Dict[str, float]:
-        """Counter deltas since ``earlier`` (see :meth:`MetricsSnapshot.diff`)."""
-        return self.snapshot().diff(earlier)
+        """Counter deltas since ``earlier`` (see :meth:`MetricsSnapshot.diff`).
+
+        When latency tracking is active the interval's delivery-latency
+        percentiles, the kernel queue high-water mark and the batched
+        publication delta are included as well.  Note that
+        ``queue_depth_high_water`` is the high-water of the *current phase
+        interval* (since the owning network's last ``mark_phase``), not of
+        the span back to ``earlier``: interval maxima are only tracked at
+        phase granularity, and the runner always diffs against the latest
+        phase snapshot.  All other keys genuinely span ``earlier`` → now.
+        """
+        delta = self.snapshot().diff(earlier)
+        if self.track_latency:
+            delta.update(
+                _latency_stats(
+                    self.delivery_latencies[earlier.delivery_latency_count:]
+                )
+            )
+            delta["queue_depth_high_water"] = self.phase_queue_depth_high_water
+        batched = self.batched_publications - earlier.batched_publications
+        if batched:
+            delta["batched_publications"] = batched
+        return delta
+
+    def latency_histogram(
+        self, bins: int = 20
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram of the delivery latencies: ``(counts, bin edges)``."""
+        if not self.delivery_latencies:
+            return np.zeros(bins, dtype=int), np.linspace(0.0, 1.0, bins + 1)
+        return np.histogram(np.asarray(self.delivery_latencies), bins=bins)
 
     def summary(self) -> Dict[str, float]:
         """Compact dictionary view used by the experiment reports."""
-        return {
+        summary = {
             "subscription_messages": self.subscription_messages,
             "unsubscription_messages": self.unsubscription_messages,
             "publication_messages": self.publication_messages,
@@ -135,3 +224,9 @@ class NetworkMetrics:
             "subsumption_checks": self.subsumption_checks,
             "rspc_iterations": self.rspc_iterations,
         }
+        if self.track_latency:
+            summary.update(_latency_stats(self.delivery_latencies))
+            summary["queue_depth_high_water"] = self.queue_depth_high_water
+        if self.batched_publications:
+            summary["batched_publications"] = self.batched_publications
+        return summary

@@ -1,33 +1,45 @@
 """The broker overlay network simulator.
 
 :class:`BrokerNetwork` owns a set of :class:`~repro.broker.broker.Broker`
-instances connected by logical links, routes messages between them with a
-synchronous FIFO queue, and accumulates the traffic/delivery metrics used
-by the distributed experiments.
+instances connected by logical links, routes messages between them through
+a virtual-time event-driven kernel (:mod:`repro.broker.sim`), and
+accumulates the traffic/delivery/latency metrics used by the distributed
+experiments.
+
+Every client operation injects one message and runs the kernel to
+quiescence, so the external API stays synchronous while the internal
+message schedule is fully timed: per-link latencies, FIFO link ordering
+and optional egress batching all happen inside the drain.  With the
+default ``zero`` latency model the kernel degenerates to the seed's
+synchronous FIFO pump, byte for byte.
 
 The simulator additionally keeps a *global oracle* of every subscription in
 the system: after each publication it knows exactly which subscribers a
 lossless system would have notified, so the notifications lost to erroneous
 probabilistic coverage decisions (the concern analysed in Section 5) are
-measured directly.
+measured directly.  The oracle is keyed by subscription identifier and
+matches through a pluggable matcher backend, so unsubscribe storms cost
+O(1) bookkeeping per cancellation instead of an O(n) list rebuild.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.broker.broker import Broker
 from repro.broker.messages import (
     Message,
     NotificationRecord,
+    PublicationBatchMessage,
     PublicationMessage,
     SubscriptionMessage,
     UnsubscriptionMessage,
 )
 from repro.broker.metrics import MetricsSnapshot, NetworkMetrics
+from repro.broker.sim import EventKernel, LatencyModel, LognormalLatency, make_latency_model
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
+from repro.matching.backends import make_backend
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
 from repro.utils.rng import RandomSource, ensure_rng, spawn_rngs
@@ -50,11 +62,24 @@ class BrokerNetwork:
     max_iterations:
         RSPC guess cap per covering decision.
     rng:
-        Seed or generator controlling every broker's random stream.
+        Seed or generator controlling every broker's random stream (and the
+        latency model's, when it is stochastic).
     matcher_backend:
-        Matcher backend every broker's routing table uses for the
-        forwarding lookup (one of
+        Matcher backend every broker's routing table — and the global
+        delivery oracle — uses for the forwarding lookup (one of
         :data:`~repro.matching.backends.BACKEND_NAMES`).
+    latency_model:
+        Per-link hop latency model spec (see
+        :func:`~repro.broker.sim.make_latency_model`): ``"zero"`` (the
+        default, seed-identical semantics), ``"fixed[:delay]"`` or
+        ``"lognormal[:mu,sigma]"``.  With a non-default model the metrics
+        additionally track per-notification delivery latency and kernel
+        queue depth.
+    batch_size:
+        Egress publication batching factor of the kernel (``1`` disables
+        batching).
+    dedup_window:
+        Per-broker bound on the publication-id dedup memory.
     """
 
     def __init__(
@@ -65,20 +90,37 @@ class BrokerNetwork:
         max_iterations: int = 1_000,
         rng: RandomSource = None,
         matcher_backend: str = "linear",
+        latency_model: str = "zero",
+        batch_size: int = 1,
+        dedup_window: int = 4096,
     ):
         self.policy = CoveringPolicyName(policy)
         self.delta = delta
         self.max_iterations = max_iterations
         self.matcher_backend = matcher_backend
+        self.dedup_window = dedup_window
         self._rng = ensure_rng(rng)
+        if isinstance(latency_model, LatencyModel):
+            # A caller-supplied model instance is adopted as-is: reseeding
+            # it here would silently splice this network's stream into any
+            # other network sharing the object.
+            model = latency_model
+        else:
+            model = make_latency_model(latency_model)
+            if isinstance(model, LognormalLatency):
+                model.reseed(spawn_rngs(self._rng, 1)[0])
+        self.latency_model: LatencyModel = model
+        self.kernel = EventKernel(model, batch_size=batch_size)
         self.brokers: Dict[str, Broker] = {}
-        self.metrics = NetworkMetrics()
+        self.metrics = NetworkMetrics(track_latency=model.name != "zero")
         #: ``(phase name, metrics snapshot at phase start)`` marks, in order
         self.phase_marks: List[Tuple[str, MetricsSnapshot]] = []
         #: client identifier -> broker identifier
         self.clients: Dict[str, str] = {}
-        #: global oracle: every subscription with its subscriber and broker
-        self._all_subscriptions: List[Tuple[Subscription, str, str]] = []
+        #: global oracle: subscription id -> (subscription, client, broker)
+        self._all_subscriptions: Dict[str, Tuple[Subscription, str, str]] = {}
+        #: matcher backend answering the oracle's "who should be notified"
+        self._oracle = make_backend(matcher_backend)
         self._edge_list: List[Tuple[str, str]] = []
 
         for left, right in edges:
@@ -100,6 +142,8 @@ class BrokerNetwork:
             policy=self.policy,
             checker=checker,
             matcher_backend=self.matcher_backend,
+            dedup_window=self.dedup_window,
+            record_latencies=self.metrics.track_latency,
         )
         self.brokers[broker_id] = broker
         return broker
@@ -137,6 +181,11 @@ class BrokerNetwork:
         """The logical links of the overlay."""
         return list(self._edge_list)
 
+    @property
+    def now(self) -> float:
+        """Current virtual time of the simulation kernel."""
+        return self.kernel.now
+
     # ------------------------------------------------------------------
     # Client operations
     # ------------------------------------------------------------------
@@ -147,7 +196,11 @@ class BrokerNetwork:
         broker_id = self._broker_of(client_id)
         if subscription.subscriber is None:
             subscription = subscription.replace(subscriber=client_id)
-        self._all_subscriptions.append((subscription, client_id, broker_id))
+        if subscription.id not in self._all_subscriptions:
+            self._all_subscriptions[subscription.id] = (
+                subscription, client_id, broker_id
+            )
+            self._oracle.add(subscription)
         message = SubscriptionMessage(
             sender=None,
             recipient=broker_id,
@@ -159,11 +212,8 @@ class BrokerNetwork:
     def unsubscribe(self, client_id: str, subscription_id: str) -> None:
         """Cancel a previously issued subscription."""
         broker_id = self._broker_of(client_id)
-        self._all_subscriptions = [
-            record
-            for record in self._all_subscriptions
-            if record[0].id != subscription_id
-        ]
+        if self._all_subscriptions.pop(subscription_id, None) is not None:
+            self._oracle.remove(subscription_id)
         message = UnsubscriptionMessage(
             sender=None,
             recipient=broker_id,
@@ -192,19 +242,74 @@ class BrokerNetwork:
             origin=broker_id,
         )
         self._run(message)
+        return self._collect_deliveries(expected, delivered_before)
 
+    def publish_batch(
+        self, client_id: str, publications: Sequence[Publication]
+    ) -> List[NotificationRecord]:
+        """Publish a burst in one timed drain — the kernel batching path.
+
+        All publications of a chunk are injected at the same virtual
+        instant, so brokers forwarding them toward a common neighbour
+        coalesce them into shared
+        :class:`~repro.broker.messages.PublicationBatchMessage` hops when
+        the kernel's ``batch_size`` allows (a burst of 100 publications
+        crossing one link costs ``ceil(100/batch_size)`` message hops
+        instead of 100).  Bursts are drained in chunks of at most
+        ``dedup_window`` publications: on cyclic topologies the dedup
+        memory is what stops a broker re-processing a publication arriving
+        over a second path, and bounding the in-flight set per drain below
+        the window guarantees no id is evicted while its duplicates are
+        still travelling.  Delivery and loss accounting are identical to
+        publishing one by one.
+        """
+        broker_id = self._broker_of(client_id)
+        expected: List[NotificationRecord] = []
+        for publication in publications:
+            expected.extend(self._expected_notifications(publication))
+        self.metrics.expected_notifications += len(expected)
+
+        delivered_before = {
+            broker.id: len(broker.delivered) for broker in self.brokers.values()
+        }
+        publications = list(publications)
+        for start in range(0, len(publications), self.dedup_window):
+            for publication in publications[start:start + self.dedup_window]:
+                self._inject(
+                    PublicationMessage(
+                        sender=None,
+                        recipient=broker_id,
+                        publication=publication,
+                        origin=broker_id,
+                    )
+                )
+            self._drain()
+        return self._collect_deliveries(expected, delivered_before)
+
+    def _collect_deliveries(
+        self,
+        expected: List[NotificationRecord],
+        delivered_before: Dict[str, int],
+    ) -> List[NotificationRecord]:
         delivered: List[NotificationRecord] = []
         for broker in self.brokers.values():
-            new_records = broker.delivered[delivered_before[broker.id]:]
+            start = delivered_before[broker.id]
+            new_records = broker.delivered[start:]
             delivered.extend(new_records)
+            if self.metrics.track_latency:
+                self.metrics.delivery_latencies.extend(
+                    broker.delivered_latencies[start:]
+                )
         self.metrics.notifications += len(delivered)
         self.metrics.delivered.extend(delivered)
 
         delivered_keys = {
-            (record.subscriber, record.subscription_id) for record in delivered
+            (record.subscriber, record.subscription_id, record.publication_id)
+            for record in delivered
         }
         for record in expected:
-            if (record.subscriber, record.subscription_id) not in delivered_keys:
+            key = (record.subscriber, record.subscription_id, record.publication_id)
+            if key not in delivered_keys:
                 self.metrics.missed.append(record)
         return delivered
 
@@ -217,47 +322,73 @@ class BrokerNetwork:
     def _expected_notifications(
         self, publication: Publication
     ) -> List[NotificationRecord]:
+        matched, _tests = self._oracle.match_candidates(publication)
         expected: List[NotificationRecord] = []
-        for subscription, client_id, broker_id in self._all_subscriptions:
-            if subscription.contains_point(publication.values):
-                expected.append(
-                    NotificationRecord(
-                        broker=broker_id,
-                        subscriber=client_id,
-                        subscription_id=subscription.id,
-                        publication_id=publication.id,
-                    )
+        for subscription in matched:
+            _, client_id, broker_id = self._all_subscriptions[subscription.id]
+            expected.append(
+                NotificationRecord(
+                    broker=broker_id,
+                    subscriber=client_id,
+                    subscription_id=subscription.id,
+                    publication_id=publication.id,
                 )
+            )
         return expected
 
     # ------------------------------------------------------------------
-    # Message pump
+    # Message pump (virtual-time event loop)
     # ------------------------------------------------------------------
     def _run(self, initial: Message) -> None:
-        queue: Deque[Message] = deque([initial])
-        while queue:
-            message = queue.popleft()
+        self._inject(initial)
+        self._drain()
+
+    def _inject(self, message: Message) -> None:
+        message.injected_at = self.kernel.now
+        message.sent_at = self.kernel.now
+        self.kernel.schedule(message)
+
+    def _drain(self) -> None:
+        kernel = self.kernel
+        for message in kernel.drain():
             broker = self.brokers[message.recipient]
             if isinstance(message, SubscriptionMessage):
                 if message.sender is not None:
                     self.metrics.subscription_messages += 1
                 outgoing, decisions = broker.handle_subscription(message)
-                for decision in decisions:
-                    self.metrics.subsumption_checks += 1
-                    self.metrics.rspc_iterations += decision.rspc_iterations
-                    if not decision.forwarded:
-                        self.metrics.suppressed_subscriptions += 1
+                self._account_decisions(decisions)
             elif isinstance(message, UnsubscriptionMessage):
                 if message.sender is not None:
                     self.metrics.unsubscription_messages += 1
-                outgoing = broker.handle_unsubscription(message)
+                outgoing, decisions = broker.handle_unsubscription(message)
+                self._account_decisions(decisions)
+            elif isinstance(message, PublicationBatchMessage):
+                # One hop (and one latency sample) for the whole batch.
+                self.metrics.publication_messages += 1
+                self.metrics.batched_publications += len(message.messages)
+                outgoing = []
+                for inner in message.messages:
+                    inner.delivered_at = message.delivered_at
+                    outgoing.extend(broker.handle_publication(inner))
             elif isinstance(message, PublicationMessage):
                 if message.sender is not None:
                     self.metrics.publication_messages += 1
                 outgoing = broker.handle_publication(message)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown message type {type(message)!r}")
-            queue.extend(outgoing)
+            for out in outgoing:
+                kernel.schedule(out)
+        self.metrics.queue_depth_high_water = kernel.queue_depth_high_water
+        self.metrics.phase_queue_depth_high_water = (
+            kernel.phase_queue_depth_high_water
+        )
+
+    def _account_decisions(self, decisions) -> None:
+        for decision in decisions:
+            self.metrics.subsumption_checks += 1
+            self.metrics.rspc_iterations += decision.rspc_iterations
+            if not decision.forwarded:
+                self.metrics.suppressed_subscriptions += 1
 
     # ------------------------------------------------------------------
     # Phase accounting
@@ -271,6 +402,8 @@ class BrokerNetwork:
         """
         snapshot = self.metrics.snapshot()
         self.phase_marks.append((name, snapshot))
+        self.kernel.reset_phase_high_water()
+        self.metrics.phase_queue_depth_high_water = 0
         return snapshot
 
     # ------------------------------------------------------------------
@@ -286,5 +419,6 @@ class BrokerNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
-            f"BrokerNetwork(brokers={len(self.brokers)}, policy={self.policy.value!r})"
+            f"BrokerNetwork(brokers={len(self.brokers)}, policy={self.policy.value!r}, "
+            f"latency={self.latency_model.spec!r})"
         )

@@ -1,0 +1,332 @@
+"""Virtual-time event-driven simulation kernel of the broker overlay.
+
+The seed simulator pumped messages through a synchronous, untimed FIFO
+``deque`` — every hop was instantaneous and the network had no notion of
+time, so latency, queueing and batching were inexpressible.  This module
+replaces that pump with a discrete-event kernel:
+
+* :class:`EventKernel` keeps a priority queue of timestamped message
+  deliveries and a virtual clock that jumps from delivery to delivery;
+* every broker-to-broker hop is delayed by a pluggable per-link
+  :class:`LatencyModel` — :class:`ZeroLatency` (the default, which makes
+  the kernel degenerate to the seed's FIFO pump byte-for-byte),
+  :class:`FixedLatency` and the seeded :class:`LognormalLatency`;
+* deliveries on one directed link never overtake each other (per-link
+  FIFO): a sampled latency that would reorder a link is clamped to the
+  link's previous delivery time, which models a FIFO channel rather than
+  independent datagrams;
+* optional *egress batching*: publications a broker emits toward the same
+  neighbour are coalesced into one
+  :class:`~repro.broker.messages.PublicationBatchMessage` hop once
+  ``batch_size`` of them accumulate (partial batches flush when a
+  non-publication message needs the link, preserving FIFO causality, or
+  when the kernel drains).
+
+With the zero model every event is scheduled at time 0.0 and the heap
+degenerates to insertion order — exactly the seed pump's global FIFO — so
+all pre-kernel metrics and traces are reproduced unchanged.
+
+Latency model specifications are strings so they can travel through
+scenario specs, trace headers and the CLI::
+
+    zero                     no latency (default)
+    fixed                    1.0 virtual time units per hop
+    fixed:0.25               0.25 units per hop
+    lognormal                exp(N(0, 0.25)) units per hop, seeded
+    lognormal:0.5,1.0        exp(N(0.5, 1.0)) units per hop, seeded
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.broker.messages import Message, PublicationBatchMessage, PublicationMessage
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = [
+    "LATENCY_MODEL_NAMES",
+    "LatencyModel",
+    "ZeroLatency",
+    "FixedLatency",
+    "LognormalLatency",
+    "make_latency_model",
+    "parse_latency_model",
+    "EventKernel",
+]
+
+#: latency model family names accepted by :func:`make_latency_model`
+LATENCY_MODEL_NAMES = ("zero", "fixed", "lognormal")
+
+#: a directed logical link (sending broker, receiving broker)
+Link = Tuple[str, str]
+
+
+# ----------------------------------------------------------------------
+# Latency models
+# ----------------------------------------------------------------------
+class LatencyModel:
+    """Per-link hop latency distribution.
+
+    ``spec`` round-trips through :func:`make_latency_model`, which is how
+    scenario specs and trace headers record the model.
+    """
+
+    #: family name (one of :data:`LATENCY_MODEL_NAMES`)
+    name: str = "?"
+    #: canonical spec string this model was built from
+    spec: str = "?"
+
+    def sample(self, sender: str, recipient: str) -> float:
+        """Latency of one hop on the directed link ``sender -> recipient``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class ZeroLatency(LatencyModel):
+    """Instantaneous hops — the seed simulator's semantics."""
+
+    name = "zero"
+    spec = "zero"
+
+    def sample(self, sender: str, recipient: str) -> float:
+        return 0.0
+
+
+class FixedLatency(LatencyModel):
+    """Every hop takes the same constant virtual time."""
+
+    name = "fixed"
+
+    def __init__(self, delay: float = 1.0):
+        if delay < 0:
+            raise ValueError("fixed latency must be non-negative")
+        self.delay = float(delay)
+        self.spec = f"fixed:{self.delay:g}"
+
+    def sample(self, sender: str, recipient: str) -> float:
+        return self.delay
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed per-hop latency: ``exp(N(mu, sigma))`` virtual units.
+
+    The generator is seeded (by the owning network, from its own derived
+    stream), so runs and replays sample identical latency sequences.
+    """
+
+    name = "lognormal"
+
+    def __init__(self, mu: float = 0.0, sigma: float = 0.25, rng: RandomSource = None):
+        if sigma < 0:
+            raise ValueError("lognormal sigma must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.spec = f"lognormal:{self.mu:g},{self.sigma:g}"
+        self._rng = ensure_rng(rng)
+
+    def reseed(self, rng: RandomSource) -> None:
+        """Swap the random stream (used when a network adopts the model)."""
+        self._rng = ensure_rng(rng)
+
+    def sample(self, sender: str, recipient: str) -> float:
+        return float(self._rng.lognormal(self.mu, self.sigma))
+
+
+def parse_latency_model(spec: str) -> Tuple[str, Tuple[float, ...]]:
+    """Parse (and validate) a latency-model spec string.
+
+    Returns ``(family name, parameters)``; raises :class:`ValueError` on
+    unknown families or malformed parameters, which is what lets
+    :class:`~repro.scenarios.spec.ScenarioSpec` validate the field at
+    construction time.
+    """
+    name, _, raw_params = str(spec).partition(":")
+    if name not in LATENCY_MODEL_NAMES:
+        raise ValueError(
+            f"unknown latency model {name!r}; expected one of "
+            f"{LATENCY_MODEL_NAMES}"
+        )
+    if not raw_params:
+        return name, ()
+    if name == "zero":
+        raise ValueError("the zero latency model takes no parameters")
+    try:
+        params = tuple(float(part) for part in raw_params.split(","))
+    except ValueError as exc:
+        raise ValueError(f"malformed latency model spec {spec!r}") from exc
+    limits = {"fixed": 1, "lognormal": 2}
+    if len(params) > limits[name]:
+        raise ValueError(
+            f"latency model {name!r} takes at most {limits[name]} "
+            f"parameter(s), got {len(params)} in {spec!r}"
+        )
+    if name == "fixed" and params and params[0] < 0:
+        raise ValueError(f"fixed latency must be non-negative in {spec!r}")
+    if name == "lognormal" and len(params) > 1 and params[1] < 0:
+        raise ValueError(f"lognormal sigma must be non-negative in {spec!r}")
+    return name, params
+
+
+def make_latency_model(spec: str, rng: RandomSource = None) -> LatencyModel:
+    """Instantiate a latency model from its spec string."""
+    if isinstance(spec, LatencyModel):
+        return spec
+    name, params = parse_latency_model(spec)
+    if name == "zero":
+        return ZeroLatency()
+    if name == "fixed":
+        return FixedLatency(*params)
+    return LognormalLatency(*params, rng=rng)
+
+
+# ----------------------------------------------------------------------
+# The kernel
+# ----------------------------------------------------------------------
+class EventKernel:
+    """Priority-queue scheduler over timestamped message deliveries.
+
+    Parameters
+    ----------
+    latency_model:
+        Hop-latency distribution applied to every broker-to-broker link
+        (client injections are instantaneous).
+    batch_size:
+        Egress batching factor: publications bound for the same link are
+        coalesced into one batch hop once this many accumulate.  ``1``
+        (the default) disables batching.
+    """
+
+    def __init__(self, latency_model: Optional[LatencyModel] = None, batch_size: int = 1):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.latency_model = latency_model or ZeroLatency()
+        self.batch_size = batch_size
+        #: current virtual time (time of the last delivered event)
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Message]] = []
+        self._sequence = 0
+        #: per directed link: virtual time of the latest scheduled delivery
+        self._link_clock: Dict[Link, float] = {}
+        #: per directed link: publications awaiting a full batch
+        self._egress: Dict[Link, List[PublicationMessage]] = {}
+        #: total events scheduled over the kernel's lifetime
+        self.scheduled = 0
+        #: deepest the pending-event queue ever got (lifetime high-water)
+        self.queue_depth_high_water = 0
+        #: high-water mark since the last :meth:`reset_phase_high_water`
+        #: (what per-phase metric diffs report)
+        self.phase_queue_depth_high_water = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, message: Message) -> None:
+        """Enqueue a message for future delivery.
+
+        Local injections (``sender is None``) are delivered at the current
+        virtual time; broker-to-broker hops are delayed by the latency
+        model, clamped so deliveries on one directed link keep their send
+        order (FIFO links).  Publications are diverted through the egress
+        buffer when batching is on.
+        """
+        if (
+            self.batch_size > 1
+            and message.sender is not None
+            and isinstance(message, PublicationMessage)
+        ):
+            link = (message.sender, message.recipient)
+            pending = self._egress.setdefault(link, [])
+            pending.append(message)
+            if len(pending) >= self.batch_size:
+                self._flush_link(link)
+            return
+        if message.sender is not None:
+            # A control message must not overtake publications already
+            # buffered for this link.
+            self._flush_link((message.sender, message.recipient))
+        self._push(message)
+
+    def _push(self, message: Message) -> None:
+        # Never schedule behind the virtual clock: a message can sit in an
+        # egress buffer while unrelated traffic advances time, so its
+        # recorded sent_at may be stale by the time the batch flushes.
+        send_time = max(message.sent_at, self.now)
+        if message.sender is None:
+            deliver_at = send_time
+        else:
+            link = (message.sender, message.recipient)
+            latency = self.latency_model.sample(*link)
+            deliver_at = send_time + latency
+            deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
+            self._link_clock[link] = deliver_at
+        message.delivered_at = deliver_at
+        heapq.heappush(self._heap, (deliver_at, self._sequence, message))
+        self._sequence += 1
+        self.scheduled += 1
+        if len(self._heap) > self.queue_depth_high_water:
+            self.queue_depth_high_water = len(self._heap)
+        if len(self._heap) > self.phase_queue_depth_high_water:
+            self.phase_queue_depth_high_water = len(self._heap)
+
+    def reset_phase_high_water(self) -> None:
+        """Start a fresh per-phase queue-depth high-water interval."""
+        self.phase_queue_depth_high_water = len(self._heap)
+
+    def _flush_link(self, link: Link) -> None:
+        pending = self._egress.pop(link, None)
+        if not pending:
+            return
+        if len(pending) == 1:
+            self._push(pending[0])
+            return
+        first = pending[0]
+        self._push(
+            PublicationBatchMessage(
+                sender=first.sender,
+                recipient=first.recipient,
+                hops=first.hops,
+                injected_at=first.injected_at,
+                sent_at=first.sent_at,
+                messages=pending,
+            )
+        )
+
+    def _flush_all(self) -> None:
+        for link in sorted(self._egress):
+            self._flush_link(link)
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of deliveries currently queued (egress buffers included)."""
+        return len(self._heap) + sum(len(p) for p in self._egress.values())
+
+    def drain(self) -> Iterator[Message]:
+        """Deliver queued messages in timestamp order until quiescence.
+
+        The caller processes each yielded message and schedules whatever
+        it triggers before the next one is popped — the standard
+        discrete-event loop.  Partial egress batches are flushed once the
+        timed queue empties, so no publication is ever stranded.
+        """
+        while True:
+            if not self._heap:
+                if not self._egress:
+                    return
+                self._flush_all()
+            deliver_at, _, message = heapq.heappop(self._heap)
+            self.now = deliver_at
+            yield message
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"EventKernel(model={self.latency_model.spec!r}, now={self.now:g}, "
+            f"pending={self.pending})"
+        )

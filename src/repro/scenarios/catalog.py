@@ -1,6 +1,6 @@
 """The canonical scenario catalog.
 
-Seven tiers, T0 (seconds, CI smoke) through T3 (stress), built from the
+Eight tiers, T0 (seconds, CI smoke) through T3 (stress), built from the
 repository's workload generators:
 
 ==================  ====  ==============  =======================================
@@ -9,6 +9,8 @@ Name                Tier  Workload        Exercise
 ``t0-smoke``        T0    bike-rental     tiny ramp/burst/storm sanity run
 ``t0-discovery``    T0    grid            churn-free ramp + burst (lossless
                                           baseline for delivery assertions)
+``t0-latency``      T0    bike-rental     t0-smoke shape under fixed per-hop
+                                          latency (timed-kernel smoke)
 ``t1-churn``        T1    bike-rental     subscribe/unsubscribe churn under load
 ``t1-flashcrowd``   T1    bike-rental     repeated flash crowds on a star hub
 ``t2-burst``        T2    comparison      bursty high-volume traffic (benchmark
@@ -67,6 +69,33 @@ def t0_discovery() -> ScenarioSpec:
             PhaseSpec("jobs", PhaseKind.PUBLISH_BURST, {"count": 24}),
         ],
         tags=("smoke", "ci", "lossless-baseline"),
+    )
+
+
+@register
+def t0_latency() -> ScenarioSpec:
+    """T0 smoke run of the timed kernel: fixed per-hop latency.
+
+    Same shape as ``t0-smoke`` but every broker-to-broker hop costs 0.1
+    virtual time units, so the report carries delivery-latency percentiles
+    and kernel queue-depth marks — the CI check that the virtual-time path
+    stays healthy.
+    """
+    return ScenarioSpec(
+        name="t0-latency",
+        tier="T0",
+        description="Timed-kernel smoke: t0-smoke shape under fixed latency.",
+        workload="bike-rental",
+        topology=TopologySpec(kind="line", size=3),
+        clients=8,
+        latency_model="fixed:0.1",
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 12}),
+            PhaseSpec("burst", PhaseKind.PUBLISH_BURST, {"count": 20}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.5}),
+            PhaseSpec("after-storm", PhaseKind.PUBLISH_BURST, {"count": 10}),
+        ],
+        tags=("smoke", "ci", "latency"),
     )
 
 
@@ -218,6 +247,7 @@ def t3_stress() -> ScenarioSpec:
 CANONICAL_TIERS = (
     "t0-smoke",
     "t0-discovery",
+    "t0-latency",
     "t1-churn",
     "t1-flashcrowd",
     "t2-burst",

@@ -13,9 +13,11 @@
 a recorded trace reproduces the original run's metrics exactly (wall
 times excepted).  ``--engine-backend`` selects the matcher backend
 (``linear``/``counting``/``selectivity``) the system under test matches
-publications with; the choice is folded into the spec, so traces record
-it and replays default to it.  ``--json`` emits the machine-readable
-report instead.
+publications with; ``--latency-model`` selects the simulation kernel's
+per-link hop latency model (``zero``, ``fixed[:delay]``,
+``lognormal[:mu,sigma]``).  Both choices are folded into the spec, so
+traces record them and replays default to them.  ``--json`` emits the
+machine-readable report instead.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.broker.sim import parse_latency_model
 from repro.matching.backends import BACKEND_NAMES
 from repro.scenarios import catalog  # noqa: F401 - populates the registry
 from repro.scenarios.events import compile_scenario
@@ -73,6 +76,7 @@ def _cmd_describe(arguments: argparse.Namespace) -> int:
     print(f"  clients  : {spec.clients}")
     print(f"  policy   : {spec.policy.value} (delta={spec.delta:g}, "
           f"max_iterations={spec.max_iterations})")
+    print(f"  latency  : {spec.latency_model}")
     if spec.tags:
         print(f"  tags     : {', '.join(spec.tags)}")
     print("  timeline :")
@@ -88,6 +92,8 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         # Fold the override into the spec so the trace (and its hash)
         # records exactly what ran and a bare `replay` reproduces it.
         spec = dataclasses.replace(spec, engine_backend=arguments.engine_backend)
+    if arguments.latency_model:
+        spec = dataclasses.replace(spec, latency_model=arguments.latency_model)
     compiled = compile_scenario(spec, arguments.seed)
     if arguments.trace:
         digest = write_trace(arguments.trace, compiled, backend=arguments.backend)
@@ -110,13 +116,29 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
     engine_backend = (
         arguments.engine_backend or compiled.recorded_engine_backend
     )
-    runner = ScenarioRunner(backend=backend, engine_backend=engine_backend)
+    latency_model = (
+        arguments.latency_model or compiled.recorded_latency_model
+    )
+    runner = ScenarioRunner(
+        backend=backend,
+        engine_backend=engine_backend,
+        latency_model=latency_model,
+    )
     report = runner.run(compiled)
     if arguments.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
     return 0
+
+
+def _latency_model(value: str) -> str:
+    """argparse type hook: validate a latency-model spec string."""
+    try:
+        parse_latency_model(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -153,6 +175,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="matcher backend to match publications with "
              "(default: the spec's engine_backend field)",
     )
+    run.add_argument(
+        "--latency-model",
+        type=_latency_model,
+        default=None,
+        metavar="MODEL",
+        help="per-link hop latency model of the simulation kernel "
+             "(zero, fixed[:delay], lognormal[:mu,sigma]; "
+             "default: the spec's latency_model field)",
+    )
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record the compiled event stream as a JSONL trace")
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
@@ -171,6 +202,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=BACKEND_NAMES,
         default=None,
         help="matcher backend to replay with "
+             "(default: the one the trace records)",
+    )
+    replay.add_argument(
+        "--latency-model",
+        type=_latency_model,
+        default=None,
+        metavar="MODEL",
+        help="latency model to replay with "
              "(default: the one the trace records)",
     )
     replay.add_argument("--no-verify", action="store_true",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.broker.network import BrokerNetwork
+from repro.broker.sim import parse_latency_model
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
 from repro.matching.backends import BACKEND_NAMES
@@ -78,6 +79,7 @@ class ScenarioReport:
     trace_hash: str
     wall_time: float
     engine_backend: str = "linear"
+    latency_model: str = "zero"
     phases: List[PhaseReport] = field(default_factory=list)
     totals: Dict[str, float] = field(default_factory=dict)
 
@@ -121,6 +123,7 @@ class ScenarioReport:
             "clients": self.clients,
             "event_count": self.event_count,
             "trace_hash": self.trace_hash,
+            "latency_model": self.latency_model,
             "wall_time": self.wall_time,
             "events_per_second": round(self.events_per_second, 1),
             "false_decision_rate": round(self.false_decision_rate, 6),
@@ -160,7 +163,7 @@ class ScenarioReport:
         header = [
             f"Scenario {self.scenario} ({self.tier}) — seed {self.seed}, "
             f"backend {self.backend}, matcher {self.engine_backend}, "
-            f"policy {self.policy}",
+            f"latency {self.latency_model}, policy {self.policy}",
             f"brokers {self.brokers}, clients {self.clients}, "
             f"{self.event_count} events in {self.wall_time * 1000:.1f} ms "
             f"({self.events_per_second:,.0f} events/s), "
@@ -204,6 +207,9 @@ class ScenarioRunner:
         Matcher backend override (one of
         :data:`~repro.matching.backends.BACKEND_NAMES`); when ``None``
         the spec's ``engine_backend`` field decides.
+    latency_model:
+        Latency model override for the network backend's simulation
+        kernel; when ``None`` the spec's ``latency_model`` field decides.
     """
 
     def __init__(
@@ -212,6 +218,7 @@ class ScenarioRunner:
         seed: int = 0,
         backend: str = "network",
         engine_backend: Optional[str] = None,
+        latency_model: Optional[str] = None,
     ):
         if backend not in ("network", "engine"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -220,13 +227,19 @@ class ScenarioRunner:
                 f"unknown engine backend {engine_backend!r}; expected one "
                 f"of {BACKEND_NAMES}"
             )
+        if latency_model is not None:
+            parse_latency_model(latency_model)
         self.spec = spec
         self.seed = seed
         self.backend = backend
         self.engine_backend = engine_backend
+        self.latency_model = latency_model
 
     def _engine_backend_for(self, compiled: CompiledScenario) -> str:
         return self.engine_backend or compiled.spec.engine_backend
+
+    def _latency_model_for(self, compiled: CompiledScenario) -> str:
+        return self.latency_model or compiled.spec.latency_model
 
     # ------------------------------------------------------------------
     # Entry point
@@ -253,6 +266,7 @@ class ScenarioRunner:
     def _run_network(self, compiled: CompiledScenario) -> ScenarioReport:
         spec = compiled.spec
         engine_backend = self._engine_backend_for(compiled)
+        latency_model = self._latency_model_for(compiled)
         network_rng = ensure_rng(derive_streams(compiled.seed)["network"])
         network = BrokerNetwork(
             compiled.edges,
@@ -261,6 +275,7 @@ class ScenarioRunner:
             max_iterations=spec.max_iterations,
             rng=network_rng,
             matcher_backend=engine_backend,
+            latency_model=latency_model,
         )
         for client, broker in compiled.clients.items():
             network.attach_client(client, broker)
@@ -305,6 +320,7 @@ class ScenarioRunner:
             trace_hash=compiled.trace_hash(),
             wall_time=wall_time,
             engine_backend=engine_backend,
+            latency_model=latency_model,
             phases=phases,
             totals=network.metrics.summary(),
         )

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.broker.sim import parse_latency_model
 from repro.broker.topologies import (
     grid_topology,
     line_topology,
@@ -227,6 +228,14 @@ class ScenarioSpec:
         backend, every broker's routing-table lookup on the ``network``
         one.  Recorded in traces so replays reproduce the original
         metrics exactly.
+    latency_model:
+        Per-link hop latency model of the broker network's simulation
+        kernel (``"zero"``, ``"fixed[:delay]"`` or
+        ``"lognormal[:mu,sigma]"`` — see
+        :func:`~repro.broker.sim.make_latency_model`).  Like the matcher
+        backend it is recorded in traces (and folded into the trace hash
+        when non-default) so replays reproduce the original run's timed
+        metrics exactly.  Ignored by the ``engine`` runner backend.
     phases:
         The workload timeline.
     tags:
@@ -244,6 +253,7 @@ class ScenarioSpec:
     delta: float = 1e-6
     max_iterations: int = 200
     engine_backend: str = "linear"
+    latency_model: str = "zero"
     phases: Sequence[PhaseSpec] = ()
     tags: Tuple[str, ...] = ()
 
@@ -254,6 +264,7 @@ class ScenarioSpec:
                 f"unknown engine backend {self.engine_backend!r}; expected "
                 f"one of {BACKEND_NAMES}"
             )
+        parse_latency_model(self.latency_model)  # validates, raises ValueError
         object.__setattr__(self, "workload_params", dict(self.workload_params))
         object.__setattr__(self, "phases", tuple(self.phases))
         object.__setattr__(self, "tags", tuple(self.tags))
@@ -279,11 +290,11 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Serialize to a plain dictionary (JSON-safe).
 
-        The default ``engine_backend`` is omitted so that the serialized
-        form — and therefore the trace hash bound to it — of every spec
-        predating the backend seam is unchanged; only a non-default
-        backend (which genuinely changes the replay's metrics) alters the
-        hash.
+        The default ``engine_backend`` and ``latency_model`` are omitted
+        so that the serialized form — and therefore the trace hash bound
+        to it — of every spec predating those seams is unchanged; only a
+        non-default backend or latency model (which genuinely changes the
+        replay's metrics) alters the hash.
         """
         payload: Dict[str, Any] = {
             "name": self.name,
@@ -301,6 +312,8 @@ class ScenarioSpec:
         }
         if self.engine_backend != "linear":
             payload["engine_backend"] = self.engine_backend
+        if self.latency_model != "zero":
+            payload["latency_model"] = self.latency_model
         return payload
 
     @classmethod
@@ -318,6 +331,7 @@ class ScenarioSpec:
             delta=payload.get("delta", 1e-6),
             max_iterations=payload.get("max_iterations", 200),
             engine_backend=payload.get("engine_backend", "linear"),
+            latency_model=payload.get("latency_model", "zero"),
             phases=[PhaseSpec.from_dict(item) for item in payload.get("phases", [])],
             tags=tuple(payload.get("tags", ())),
         )

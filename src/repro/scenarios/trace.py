@@ -70,6 +70,7 @@ def write_trace(
         "event_count": compiled.event_count,
         "trace_hash": digest,
         "engine_backend": compiled.spec.engine_backend,
+        "latency_model": compiled.spec.latency_model,
     }
     if backend is not None:
         header["backend"] = backend
@@ -137,6 +138,7 @@ def read_trace(
         events=events,
         recorded_backend=header.get("backend"),
         recorded_engine_backend=header.get("engine_backend"),
+        recorded_latency_model=header.get("latency_model"),
     )
     if verify:
         expected_count = header.get("event_count")

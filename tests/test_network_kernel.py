@@ -1,0 +1,436 @@
+"""Tests for the virtual-time event-driven network kernel.
+
+Covers the :mod:`repro.broker.sim` primitives (latency models, scheduler,
+per-link FIFO, egress batching), the metrics they feed
+(delivery-latency percentiles, queue-depth high-water marks, histogram)
+and the scenario-layer threading (spec field, trace header, replay
+round-trip, CLI flag).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.broker import (
+    BrokerNetwork,
+    CoveringPolicy,
+    FixedLatency,
+    LognormalLatency,
+    ZeroLatency,
+    line_topology,
+    make_latency_model,
+    parse_latency_model,
+)
+from repro.broker.messages import PublicationMessage
+from repro.broker.sim import EventKernel, LatencyModel
+from repro.model import Publication, Schema, Subscription
+from repro.scenarios.cli import main as cli_main
+from repro.scenarios.events import compile_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.trace import read_trace, write_trace
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform_integer(2, 0, 100)
+
+
+def whole_space(schema, sid="all"):
+    return Subscription.whole_space(schema, subscription_id=sid)
+
+
+def make_network(policy=CoveringPolicy.NONE, size=3, **kwargs):
+    network = BrokerNetwork(line_topology(size), policy=policy, rng=0, **kwargs)
+    network.attach_client("sub", "B1")
+    network.attach_client("pub", f"B{size}")
+    return network
+
+
+class TestLatencyModelParsing:
+    def test_families_and_parameters(self):
+        assert parse_latency_model("zero") == ("zero", ())
+        assert parse_latency_model("fixed") == ("fixed", ())
+        assert parse_latency_model("fixed:0.25") == ("fixed", (0.25,))
+        assert parse_latency_model("lognormal:0.5,1.0") == ("lognormal", (0.5, 1.0))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "warp",
+            "zero:1",
+            "fixed:a",
+            "fixed:1,2",
+            "fixed:-1",
+            "lognormal:1,2,3",
+            "lognormal:0,-1",
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_latency_model(bad)
+
+    def test_factory_builds_the_right_types(self):
+        assert isinstance(make_latency_model("zero"), ZeroLatency)
+        fixed = make_latency_model("fixed:0.5")
+        assert isinstance(fixed, FixedLatency) and fixed.delay == 0.5
+        lognormal = make_latency_model("lognormal:0.1,0.2", rng=1)
+        assert isinstance(lognormal, LognormalLatency)
+        assert lognormal.spec == "lognormal:0.1,0.2"
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(sigma=-0.1)
+
+
+class TestVirtualClock:
+    def test_zero_model_never_advances_time(self, schema):
+        network = make_network()
+        network.subscribe("sub", whole_space(schema))
+        network.publish("pub", Publication.from_values(schema, {"x1": 1, "x2": 1}))
+        assert network.now == 0.0
+        # Untimed runs don't accumulate latency samples (flat memory).
+        assert network.metrics.delivery_latencies == []
+        assert all(
+            broker.delivered_latencies == []
+            for broker in network.brokers.values()
+        )
+
+    def test_fixed_model_charges_per_hop(self, schema):
+        network = make_network(latency_model="fixed:0.5")
+        network.subscribe("sub", whole_space(schema))
+        clock_after_subscribe = network.now
+        # The subscription flooded two hops down the line.
+        assert clock_after_subscribe == pytest.approx(1.0)
+        network.publish("pub", Publication.from_values(schema, {"x1": 1, "x2": 1}))
+        # The publication travelled B3 -> B2 -> B1: two hops at 0.5 each.
+        assert network.metrics.delivery_latencies == [pytest.approx(1.0)]
+        assert network.now > clock_after_subscribe
+
+    def test_shared_model_instance_is_not_reseeded(self, schema):
+        """Adopting a caller-supplied model must not splice streams."""
+        model = LognormalLatency(rng=42)
+        solo = LognormalLatency(rng=42)
+        network_a = BrokerNetwork(
+            line_topology(2), policy=CoveringPolicy.NONE, rng=0, latency_model=model
+        )
+        BrokerNetwork(
+            line_topology(2), policy=CoveringPolicy.NONE, rng=1, latency_model=model
+        )
+        assert network_a.latency_model is model
+        # Neither construction consumed or replaced the model's stream.
+        assert model.sample("A", "B") == solo.sample("A", "B")
+
+    def test_lognormal_model_is_deterministic_per_seed(self, schema):
+        def run():
+            network = make_network(latency_model="lognormal:0.0,0.5")
+            network.subscribe("sub", whole_space(schema))
+            for index in range(10):
+                network.publish(
+                    "pub",
+                    Publication.from_values(
+                        schema, {"x1": index, "x2": index}, publication_id=f"p{index}"
+                    ),
+                )
+            return list(network.metrics.delivery_latencies)
+
+        first, second = run(), run()
+        assert first == second
+        assert all(latency > 0 for latency in first)
+        assert len(set(first)) > 1  # actually stochastic, not constant
+
+
+class _ShrinkingLatency(LatencyModel):
+    """Pathological model: each successive hop is faster than the last."""
+
+    name = "fixed"
+    spec = "fixed:test"
+
+    def __init__(self):
+        self.next_latency = 10.0
+
+    def sample(self, sender, recipient):
+        value = self.next_latency
+        self.next_latency = max(value - 4.0, 0.0)
+        return value
+
+
+class TestKernelOrdering:
+    def _message(self, sender, recipient, tag):
+        return PublicationMessage(
+            sender=sender,
+            recipient=recipient,
+            publication=None,
+            origin=tag,
+        )
+
+    def test_per_link_fifo_never_reorders(self):
+        kernel = EventKernel(_ShrinkingLatency())
+        for index in range(4):
+            kernel.schedule(self._message("A", "B", f"m{index}"))
+        order = [message.origin for message in kernel.drain()]
+        assert order == ["m0", "m1", "m2", "m3"]
+        # Delivery times were clamped to the link clock, not reordered.
+
+    def test_independent_links_may_interleave(self):
+        kernel = EventKernel(_ShrinkingLatency())
+        kernel.schedule(self._message("A", "B", "slow"))   # latency 10
+        kernel.schedule(self._message("A", "C", "fast"))   # latency 6
+        order = [message.origin for message in kernel.drain()]
+        assert order == ["fast", "slow"]
+
+    def test_zero_model_is_global_fifo(self):
+        kernel = EventKernel(ZeroLatency())
+        for index in range(5):
+            kernel.schedule(self._message("A", "B", f"m{index}"))
+        assert [m.origin for m in kernel.drain()] == [f"m{index}" for index in range(5)]
+
+    def test_queue_depth_high_water_tracked(self):
+        kernel = EventKernel(ZeroLatency())
+        for index in range(7):
+            kernel.schedule(self._message("A", "B", f"m{index}"))
+        assert kernel.queue_depth_high_water == 7
+        list(kernel.drain())
+        assert kernel.pending == 0
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventKernel(ZeroLatency(), batch_size=0)
+
+    def test_stale_egress_buffer_never_rewinds_the_clock(self):
+        """A partial batch flushed long after buffering must not deliver
+        in the past (regression: the flush used the first message's stale
+        ``sent_at``, rewinding ``kernel.now``)."""
+        kernel = EventKernel(FixedLatency(0.1), batch_size=2)
+        # Buffer one publication on A->B at t=0 (batch stays partial).
+        kernel.schedule(self._message("A", "B", "early"))
+        assert kernel.pending == 1
+        # Unrelated traffic advances the clock far past the buffering time.
+        slow = self._message("A", "C", "slow")
+        slow.sent_at = 10.0
+        kernel.schedule(slow)
+        times = []
+        for message in kernel.drain():
+            times.append(kernel.now)
+        assert times == sorted(times), "virtual clock went backwards"
+        assert kernel.now >= 10.1
+
+
+class TestEgressBatching:
+    def _delivering_network(self, batch_size):
+        network = make_network(size=2, batch_size=batch_size)
+        return network
+
+    def _burst(self, schema, count):
+        return [
+            Publication.from_values(
+                schema, {"x1": 1, "x2": 1}, publication_id=f"p{index}"
+            )
+            for index in range(count)
+        ]
+
+    def test_batches_collapse_message_hops(self, schema):
+        network = self._delivering_network(batch_size=3)
+        network.subscribe("sub", whole_space(schema))
+        delivered = network.publish_batch("pub", self._burst(schema, 6))
+        assert len(delivered) == 6
+        assert network.metrics.missed == []
+        # 6 publications crossed the single link in 2 batch hops.
+        assert network.metrics.publication_messages == 2
+        assert network.metrics.batched_publications == 6
+        assert "batched_publications" in network.metrics.summary()
+
+    def test_partial_batches_flush_at_drain(self, schema):
+        network = self._delivering_network(batch_size=3)
+        network.subscribe("sub", whole_space(schema))
+        delivered = network.publish_batch("pub", self._burst(schema, 7))
+        assert len(delivered) == 7
+        # Two full batches plus a flushed single (not batched).
+        assert network.metrics.publication_messages == 3
+        assert network.metrics.batched_publications == 6
+
+    def test_unbatched_network_is_unchanged(self, schema):
+        network = self._delivering_network(batch_size=1)
+        network.subscribe("sub", whole_space(schema))
+        delivered = network.publish_batch("pub", self._burst(schema, 6))
+        assert len(delivered) == 6
+        assert network.metrics.publication_messages == 6
+        assert network.metrics.batched_publications == 0
+        assert "batched_publications" not in network.metrics.summary()
+
+    def test_batching_equals_sequential_delivery(self, schema):
+        batched = self._delivering_network(batch_size=4)
+        sequential = self._delivering_network(batch_size=1)
+        for network in (batched, sequential):
+            network.subscribe("sub", whole_space(schema))
+        burst = self._burst(schema, 10)
+        records_batched = batched.publish_batch("pub", burst)
+        records_sequential = [
+            record
+            for publication in burst
+            for record in sequential.publish("pub", publication)
+        ]
+        assert records_batched == records_sequential
+        assert batched.metrics.notifications == sequential.metrics.notifications
+        assert (
+            batched.metrics.publication_messages
+            < sequential.metrics.publication_messages
+        )
+
+
+class TestLatencyMetrics:
+    def test_latency_stats_only_reported_for_timed_models(self, schema):
+        timed = make_network(latency_model="fixed:0.5")
+        untimed = make_network()
+        for network in (timed, untimed):
+            network.subscribe("sub", whole_space(schema))
+            network.publish(
+                "pub", Publication.from_values(schema, {"x1": 1, "x2": 1})
+            )
+        assert "delivery_latency_p50" in timed.metrics.summary()
+        assert "queue_depth_high_water" in timed.metrics.summary()
+        assert "delivery_latency_p50" not in untimed.metrics.summary()
+        assert "queue_depth_high_water" not in untimed.metrics.summary()
+
+    def test_phase_diff_reports_interval_percentiles(self, schema):
+        network = make_network(latency_model="fixed:0.25")
+        network.subscribe("sub", whole_space(schema))
+        network.publish("pub", Publication.from_values(schema, {"x1": 1, "x2": 1}))
+        snapshot = network.mark_phase("late")
+        network.publish("pub", Publication.from_values(schema, {"x1": 2, "x2": 2}))
+        delta = network.metrics.diff(snapshot)
+        assert delta["notifications"] == 1
+        assert delta["delivery_latency_p50"] == pytest.approx(0.5)
+        assert delta["queue_depth_high_water"] >= 1
+
+    def test_queue_high_water_is_per_phase_not_lifetime(self, schema):
+        """A quiet phase must not inherit the busy phase's high-water mark."""
+        network = make_network(latency_model="fixed:0.25")
+        network.mark_phase("busy")
+        network.subscribe("sub", whole_space(schema))
+        for index in range(5):
+            network.publish(
+                "pub",
+                Publication.from_values(
+                    schema, {"x1": index, "x2": index}, publication_id=f"p{index}"
+                ),
+            )
+        busy_mark = network.metrics.phase_queue_depth_high_water
+        assert busy_mark >= 1
+        quiet_snapshot = network.mark_phase("quiet")
+        delta = network.metrics.diff(quiet_snapshot)
+        assert delta["queue_depth_high_water"] == 0
+        # The lifetime mark in the summary still remembers the busy phase.
+        assert network.metrics.summary()["queue_depth_high_water"] >= busy_mark
+
+    def test_histogram_covers_all_deliveries(self, schema):
+        network = make_network(latency_model="lognormal:0.0,0.5")
+        network.subscribe("sub", whole_space(schema))
+        for index in range(20):
+            network.publish(
+                "pub",
+                Publication.from_values(
+                    schema, {"x1": index, "x2": index}, publication_id=f"p{index}"
+                ),
+            )
+        counts, edges = network.metrics.latency_histogram(bins=8)
+        assert counts.sum() == len(network.metrics.delivery_latencies) == 20
+        assert len(edges) == 9
+
+    def test_zero_model_phase_metrics_keep_historical_keys(self, schema):
+        """Latency keys must not leak into untimed runs (replay stability)."""
+        network = make_network()
+        snapshot = network.mark_phase("all")
+        network.subscribe("sub", whole_space(schema))
+        network.publish("pub", Publication.from_values(schema, {"x1": 1, "x2": 1}))
+        delta = network.metrics.diff(snapshot)
+        assert set(delta) == {
+            "subscription_messages",
+            "unsubscription_messages",
+            "publication_messages",
+            "notifications",
+            "expected_notifications",
+            "suppressed_subscriptions",
+            "subsumption_checks",
+            "rspc_iterations",
+            "missed_notifications",
+            "delivery_ratio",
+        }
+
+
+class TestScenarioThreading:
+    def test_spec_validates_and_serializes_latency_model(self):
+        spec = get_scenario("t0-smoke")
+        assert spec.latency_model == "zero"
+        assert "latency_model" not in spec.to_dict()
+        timed = dataclasses.replace(spec, latency_model="fixed:0.1")
+        assert timed.to_dict()["latency_model"] == "fixed:0.1"
+        round_tripped = ScenarioSpec.from_dict(timed.to_dict())
+        assert round_tripped.latency_model == "fixed:0.1"
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, latency_model="warp")
+
+    def test_non_default_model_changes_the_trace_hash(self):
+        spec = get_scenario("t0-smoke")
+        timed = dataclasses.replace(spec, latency_model="fixed:0.1")
+        assert (
+            compile_scenario(spec, 7).trace_hash()
+            != compile_scenario(timed, 7).trace_hash()
+        )
+
+    def test_timed_run_replays_identically(self, tmp_path):
+        spec = dataclasses.replace(
+            get_scenario("t0-smoke"), latency_model="lognormal:0.0,0.5"
+        )
+        compiled = compile_scenario(spec, seed=9)
+        report = ScenarioRunner(spec, seed=9).run(compiled)
+        assert report.latency_model == "lognormal:0.0,0.5"
+        burst = next(p for p in report.phases if p.name == "burst")
+        assert "delivery_latency_p50" in burst.metrics
+
+        path = tmp_path / "timed.jsonl"
+        write_trace(path, compiled, backend="network")
+        loaded = read_trace(path)
+        assert loaded.spec.latency_model == "lognormal:0.0,0.5"
+        assert loaded.recorded_latency_model == "lognormal:0.0,0.5"
+        replay = ScenarioRunner().run(loaded)
+        assert replay.phase_metrics() == report.phase_metrics()
+
+    def test_t0_latency_scenario_is_registered_and_timed(self):
+        spec = get_scenario("t0-latency")
+        assert spec.latency_model == "fixed:0.1"
+        report = ScenarioRunner(spec, seed=7).run()
+        assert report.latency_model == "fixed:0.1"
+        assert "delivery_latency_p50" in report.totals
+
+    def test_cli_latency_model_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "cli.jsonl"
+        assert cli_main([
+            "run", "t0-smoke", "--seed", "5",
+            "--latency-model", "fixed:0.2",
+            "--trace", str(trace_path), "--json",
+        ]) == 0
+        run_report = json.loads(capsys.readouterr().out)
+        assert run_report["latency_model"] == "fixed:0.2"
+        assert "delivery_latency_p50" in run_report["totals"]
+
+        assert cli_main(["replay", str(trace_path), "--json"]) == 0
+        replay_report = json.loads(capsys.readouterr().out)
+        assert replay_report["latency_model"] == "fixed:0.2"
+
+        def metric_view(report):
+            return [
+                {key: value for key, value in phase.items() if key != "wall_time"}
+                for phase in report["phases"]
+            ]
+
+        assert metric_view(replay_report) == metric_view(run_report)
+
+    def test_cli_rejects_bad_latency_model(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "t0-smoke", "--latency-model", "warp"])
