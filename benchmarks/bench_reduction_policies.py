@@ -1,0 +1,93 @@
+"""Reduction strategies head to head on the burst tier.
+
+Runs the ``t2-burst`` shape (scaled down so the five-way sweep stays
+laptop-sized; ``REPRO_PAPER=1`` runs the full tier) through the broker
+overlay once per registered reduction strategy and reports, side by side:
+
+* **forwarded subscription messages** — the routing traffic (and hence
+  upstream routing state) the reduction aims to cut;
+* **false-positive rate** — spurious deliveries per delivered
+  notification (0 for the covering strategies, the price of merging);
+* **missed** — notifications lost to erroneous probabilistic decisions;
+* **pubs/sec** — publication events per wall-clock second.
+
+This is the end-to-end covering-vs-merging comparison of the related
+work discussion, run on the real broker network rather than on isolated
+subscription stores.
+"""
+
+import dataclasses
+import time
+
+from conftest import paper_scale, report
+
+from repro.core.policies import STRATEGY_NAMES
+from repro.experiments.series import ResultTable
+from repro.scenarios import ScenarioRunner, compile_scenario, get_scenario
+
+SEED = 20060331
+MERGE_BUDGET = 0.4
+
+
+def _spec():
+    spec = get_scenario("t2-burst")
+    if paper_scale():
+        return spec
+    scaled = []
+    for phase in spec.phases:
+        params = {
+            key: (max(value // 4, 1) if isinstance(value, int) else value)
+            for key, value in phase.params.items()
+        }
+        scaled.append(dataclasses.replace(phase, params=params))
+    return dataclasses.replace(spec, phases=scaled)
+
+
+def test_reduction_policy_sweep(benchmark):
+    """All registered strategies on the same compiled burst workload."""
+
+    def run():
+        table = ResultTable(
+            title=(
+                "Reduction strategies on the t2-burst shape "
+                f"(merge budget {MERGE_BUDGET:g})"
+            ),
+            x_label="strategy",
+        )
+        for index, policy in enumerate(STRATEGY_NAMES):
+            spec = dataclasses.replace(
+                _spec(),
+                policy=policy,
+                merge_budget=MERGE_BUDGET,
+            )
+            compiled = compile_scenario(spec, seed=SEED)
+            started = time.perf_counter()
+            outcome = ScenarioRunner(spec, seed=SEED).run(compiled)
+            elapsed = time.perf_counter() - started
+            totals = outcome.totals
+            publishes = sum(phase.publishes for phase in outcome.phases)
+            delivered = totals["notifications"]
+            false_positives = totals.get("false_positive_notifications", 0)
+            table.add_row(
+                index,
+                {
+                    "sub msgs": totals["subscription_messages"],
+                    "missed": totals["missed_notifications"],
+                    "false-pos rate": (
+                        round(false_positives / delivered, 4)
+                        if delivered
+                        else 0.0
+                    ),
+                    "merged ads": totals.get("merged_advertisements", 0),
+                    "pubs/sec": (
+                        round(publishes / elapsed, 1) if elapsed > 0 else 0.0
+                    ),
+                },
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    # Covering strategies are exact; merging buys state with imprecision.
+    assert table.column("missed")[0] == 0.0
+    assert all(rate >= 0 for rate in table.column("false-pos rate"))

@@ -3,10 +3,13 @@
 The simulator reproduces the distributed setting of Sections 2 and 5: a
 network of brokers connected by logical links, subscription propagation by
 flooding with reverse-path forwarding, and covering-based suppression of
-redundant subscriptions.  The covering policy is pluggable (``none``,
-``pairwise``, ``group``) so the traffic impact of the paper's probabilistic
-group subsumption can be measured against the classical baselines, and the
-delivery loss caused by erroneous coverage decisions can be quantified
+redundant subscriptions.  The reduction strategy is pluggable (``none``,
+``pairwise``, ``group``, ``merging``, ``hybrid`` — see
+:mod:`repro.core.policies`) so the traffic impact of the paper's
+probabilistic group subsumption can be measured against the classical
+baselines *and* against the related work's merging approach (smaller
+routing state bought with false-positive deliveries), and the delivery
+loss caused by erroneous coverage decisions can be quantified
 (Proposition 5 / Eq. 2).
 """
 

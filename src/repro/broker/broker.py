@@ -9,9 +9,12 @@ Brokers implement the behaviour described in Section 2 of the paper:
   against the routing table and forwarded along the reverse path of each
   matching subscription, or delivered to the local subscriber that issued
   it (reverse path forwarding);
-* the covering decision is pluggable: ``none`` (always forward),
-  ``pairwise`` (classical single-subscription covering) or ``group`` (the
-  paper's probabilistic union covering).
+* the per-link reduction decision is pluggable
+  (:mod:`repro.core.policies`): ``none`` (always forward), ``pairwise``
+  (classical single-subscription covering), ``group`` (the paper's
+  probabilistic union covering), ``merging`` (advertise merged bounding
+  boxes upstream — smaller routing state, false-positive traffic and
+  deliveries) or ``hybrid`` (cover first, merge the residue).
 """
 
 from __future__ import annotations
@@ -28,16 +31,22 @@ from repro.broker.messages import (
     UnsubscriptionMessage,
 )
 from repro.broker.routing import RouteEntry, RoutingTable, SourceKind
-from repro.core.pairwise import PairwiseCoverageChecker
+from repro.core.merging import cheapest_merge
+from repro.core.policies import (
+    DEFAULT_MERGE_BUDGET,
+    ReductionStrategy,
+    make_strategy,
+)
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
+from repro.model.subscriptions import Subscription
 
 __all__ = ["Broker", "SubscriptionDecision"]
 
 
 @dataclass
 class SubscriptionDecision:
-    """Covering decision for one subscription toward one neighbour.
+    """Reduction decision for one subscription toward one neighbour.
 
     Covering-based routing decides *per link* whether a subscription still
     has to be forwarded: the candidate set is exactly the set of
@@ -55,9 +64,26 @@ class SubscriptionDecision:
     rspc_iterations: int = 0
     #: identifiers of the previously forwarded subscriptions the decision
     #: relied on to suppress forwarding (the single coverer under
-    #: ``pairwise``, the whole candidate set under ``group``); empty when
-    #: the subscription was forwarded
+    #: ``pairwise``, the MCS minimized cover set under ``group``); empty
+    #: when the subscription was forwarded
     covered_by: Tuple[str, ...] = ()
+    #: the bounding box advertised instead of the subscription, when the
+    #: strategy replaced it (and ``replaced``) with a merge
+    merged: Optional[Subscription] = None
+    #: previously forwarded advertisement ids the merged box absorbs
+    replaced: Tuple[str, ...] = ()
+    #: over-approximated volume introduced by the merge (0 otherwise)
+    false_volume: float = 0.0
+
+
+@dataclass
+class _LocalMergeGroup:
+    """One merged delivery group over a broker's local subscriptions."""
+
+    #: bounding box of the members' subscriptions (the matched filter)
+    filter: Subscription
+    #: the local route entries the group represents
+    members: List[RouteEntry] = field(default_factory=list)
 
 
 class Broker:
@@ -70,11 +96,16 @@ class Broker:
     neighbors:
         Identifiers of the directly connected brokers.
     policy:
-        Covering policy applied when deciding whether to propagate a
-        subscription.
+        Reduction strategy applied when deciding whether (and in what
+        form) to propagate a subscription; a name from
+        :data:`~repro.core.policies.STRATEGY_NAMES` or a strategy
+        instance.
     checker:
-        Group-subsumption checker used by the ``group`` policy (one per
-        broker so each has an independent random stream).
+        Group-subsumption checker used by the probabilistic strategies
+        (one per broker so each has an independent random stream).
+    merge_budget:
+        False-volume budget of the merging strategies (ignored by the
+        covering-only ones).
     matcher_backend:
         Matcher backend of the routing table's forwarding lookup (one of
         :data:`~repro.matching.backends.BACKEND_NAMES`); observable
@@ -99,13 +130,18 @@ class Broker:
         matcher_backend: str = "linear",
         dedup_window: int = 4096,
         record_latencies: bool = False,
+        merge_budget: float = DEFAULT_MERGE_BUDGET,
     ):
         if dedup_window < 1:
             raise ValueError("dedup_window must be positive")
         self.id = broker_id
         self.neighbors: List[str] = list(neighbors)
-        self.policy = CoveringPolicyName(policy)
-        self.checker = checker or SubsumptionChecker()
+        self._checker = checker or SubsumptionChecker()
+        self.strategy: ReductionStrategy = make_strategy(
+            policy, checker=self._checker, merge_budget=merge_budget
+        )
+        self.policy = self.strategy.name
+        self.merge_budget = merge_budget
         self.matcher_backend = matcher_backend
         self.routing = RoutingTable(matcher_backend=matcher_backend)
         self.dedup_window = dedup_window
@@ -118,6 +154,20 @@ class Broker:
         #: forwarded subscriptions whose coverage justified the suppression
         #: (the re-advertisement dependencies of the unsubscription path)
         self.suppressed: Dict[str, Dict[str, Set[str]]] = {}
+        #: per-neighbour membership of merged advertisements: neighbour ->
+        #: merged advertisement id -> original subscription ids the merged
+        #: bounding box represents on that link
+        self.merge_members: Dict[str, Dict[str, Set[str]]] = {}
+        #: merged delivery groups over the local subscriptions (merging
+        #: strategies only — models the broker matching one coarse filter
+        #: per group and leaving the final cut to client-side filtering)
+        self._local_groups: List[_LocalMergeGroup] = []
+        #: publications received from a neighbour that matched nothing
+        #: here — the dead-end traffic merged advertisements over-attract
+        self.dead_letter_publications = 0
+        #: notifications delivered through a merged local filter although
+        #: the member's own subscription did not match the publication
+        self.false_positive_deliveries = 0
         #: recently processed publication ids (bounded loop suppression)
         self._seen_publications: "OrderedDict[str, None]" = OrderedDict()
         #: covering decisions taken at this broker
@@ -132,6 +182,19 @@ class Broker:
         #: :attr:`delivered` (parallel list; empty unless
         #: :attr:`record_latencies`)
         self.delivered_latencies: List[float] = []
+
+    @property
+    def checker(self) -> SubsumptionChecker:
+        """The group-subsumption checker backing the reduction strategy."""
+        return self._checker
+
+    @checker.setter
+    def checker(self, value: SubsumptionChecker) -> None:
+        # Keep the strategy in sync, so swapping a broker's checker (the
+        # failure-injection tests do) swaps the one actually consulted.
+        self._checker = value
+        if hasattr(self.strategy, "checker"):
+            self.strategy.checker = value
 
     # ------------------------------------------------------------------
     # Topology
@@ -151,47 +214,26 @@ class Broker:
     def _coverage_decision(
         self, subscription, neighbor: str
     ) -> SubscriptionDecision:
-        """Decide whether ``subscription`` must be forwarded to ``neighbor``.
+        """Decide what to do with ``subscription`` toward ``neighbor``.
 
-        The candidate set is the set of subscriptions already forwarded to
-        that neighbour: if those jointly (group policy) or singly
-        (pair-wise policy) cover the newcomer, the neighbour learns nothing
-        new from it and the message is suppressed.
+        The candidate set is the set of advertisements already forwarded
+        to that neighbour; the verdict (forward / suppress / replace with
+        a merged bounding box) comes from the broker's pluggable
+        reduction strategy.
         """
         candidates = list(self.sent.get(neighbor, {}).values())
-        if self.policy is CoveringPolicyName.NONE or not candidates:
-            return SubscriptionDecision(
-                broker=self.id,
-                subscription_id=subscription.id,
-                neighbor=neighbor,
-                forwarded=True,
-                candidates_considered=len(candidates),
-            )
-        if self.policy is CoveringPolicyName.PAIRWISE:
-            outcome = PairwiseCoverageChecker.check(subscription, candidates)
-            return SubscriptionDecision(
-                broker=self.id,
-                subscription_id=subscription.id,
-                neighbor=neighbor,
-                forwarded=not outcome.covered,
-                candidates_considered=len(candidates),
-                covered_by=(outcome.covering.id,) if outcome.covered else (),
-            )
-        result = self.checker.check(subscription, candidates)
+        decision = self.strategy.decide(subscription, candidates)
         return SubscriptionDecision(
             broker=self.id,
             subscription_id=subscription.id,
             neighbor=neighbor,
-            forwarded=not result.covered,
-            candidates_considered=len(candidates),
-            rspc_iterations=result.iterations_performed,
-            # The group verdict is joint: any departure from the candidate
-            # set can break the cover, so every candidate is a dependency.
-            covered_by=(
-                tuple(candidate.id for candidate in candidates)
-                if result.covered
-                else ()
-            ),
+            forwarded=decision.forwarded,
+            candidates_considered=decision.candidates_considered,
+            rspc_iterations=decision.rspc_iterations,
+            covered_by=decision.covered_by,
+            merged=decision.merged,
+            replaced=decision.replaced,
+            false_volume=decision.false_volume,
         )
 
     # ------------------------------------------------------------------
@@ -227,6 +269,8 @@ class Broker:
                 origin=message.origin,
             )
         self.routing.add(source)
+        if source.source_kind is SourceKind.LOCAL and self.strategy.merges:
+            self._local_group_add(source)
 
         outgoing: List[Message] = []
         decisions: List[SubscriptionDecision] = []
@@ -236,6 +280,11 @@ class Broker:
             decision = self._coverage_decision(subscription, neighbor)
             decisions.append(decision)
             self.decisions.append(decision)
+            if decision.merged is not None:
+                outgoing.extend(
+                    self._apply_merge_advertisement(decision, message)
+                )
+                continue
             if not decision.forwarded:
                 self.suppressed.setdefault(neighbor, {})[subscription.id] = set(
                     decision.covered_by
@@ -254,6 +303,57 @@ class Broker:
                 )
             )
         return outgoing, decisions
+
+    def _apply_merge_advertisement(
+        self, decision: SubscriptionDecision, message: Message
+    ) -> List[Message]:
+        """Replace per-link advertisements with the decision's merged box.
+
+        The merged advertisement is sent *before* the retractions of the
+        advertisements it absorbs (links are FIFO), so the upstream broker
+        never re-advertises the suppressed subscriptions in between.
+        Suppressions that were justified by a replaced advertisement are
+        rewritten to depend on the merged box — it covers everything the
+        replaced advertisement covered.
+        """
+        neighbor = decision.neighbor
+        merged = decision.merged
+        sent_here = self.sent.setdefault(neighbor, {})
+        members_here = self.merge_members.setdefault(neighbor, {})
+        member_set: Set[str] = {decision.subscription_id}
+        outgoing: List[Message] = [
+            SubscriptionMessage(
+                sender=self.id,
+                recipient=neighbor,
+                hops=message.hops + 1,
+                subscription=merged,
+                origin=self.id,
+                injected_at=message.injected_at,
+                sent_at=message.delivered_at,
+            )
+        ]
+        for replaced_id in decision.replaced:
+            sent_here.pop(replaced_id, None)
+            member_set |= members_here.pop(replaced_id, {replaced_id})
+            outgoing.append(
+                UnsubscriptionMessage(
+                    sender=self.id,
+                    recipient=neighbor,
+                    hops=message.hops + 1,
+                    subscription_id=replaced_id,
+                    origin=self.id,
+                    injected_at=message.injected_at,
+                    sent_at=message.delivered_at,
+                )
+            )
+        sent_here[merged.id] = merged
+        members_here[merged.id] = member_set
+        replaced_ids = set(decision.replaced)
+        for covers in self.suppressed.get(neighbor, {}).values():
+            if covers & replaced_ids:
+                covers -= replaced_ids
+                covers.add(merged.id)
+        return outgoing
 
     def handle_unsubscription(
         self, message: UnsubscriptionMessage
@@ -274,19 +374,25 @@ class Broker:
         entry = self.routing.remove(uid)
         if entry is None:
             return [], []
+        if entry.source_kind is SourceKind.LOCAL and self.strategy.merges:
+            self._local_group_remove(uid)
         outgoing: List[Message] = []
         decisions: List[SubscriptionDecision] = []
         for neighbor in self.neighbors:
             if neighbor == message.sender:
                 continue
-            suppressed_here = self.suppressed.get(neighbor, {})
             # The departing subscription no longer needs re-advertising.
-            suppressed_here.pop(uid, None)
+            self.suppressed.get(neighbor, {}).pop(uid, None)
             forwarded_here = self.sent.get(neighbor, {}).pop(uid, None)
             if forwarded_here is None:
-                # The neighbour never learnt about this subscription, so
-                # there is nothing to cancel in that direction — and no
-                # suppression on this link can have depended on it.
+                # The neighbour never learnt the subscription directly —
+                # but it may ride inside a merged advertisement, whose
+                # membership must shrink (and, once empty, be retracted).
+                more_out, more_decisions = self._shrink_merged_membership(
+                    neighbor, uid, message
+                )
+                outgoing.extend(more_out)
+                decisions.extend(more_decisions)
                 continue
             outgoing.append(
                 UnsubscriptionMessage(
@@ -299,35 +405,95 @@ class Broker:
                     sent_at=message.delivered_at,
                 )
             )
-            # Re-advertise subscriptions whose suppression relied on the
-            # departed coverer and are no longer covered on this link.
-            dependents = [
-                sid for sid, covers in suppressed_here.items() if uid in covers
-            ]
-            for sid in dependents:
-                del suppressed_here[sid]
-                dependent = self.routing.get(sid)
-                if dependent is None:
-                    continue
-                decision = self._coverage_decision(dependent.subscription, neighbor)
-                decisions.append(decision)
-                self.decisions.append(decision)
-                if not decision.forwarded:
-                    suppressed_here[sid] = set(decision.covered_by)
-                    continue
-                self.sent.setdefault(neighbor, {})[sid] = dependent.subscription
-                outgoing.append(
-                    SubscriptionMessage(
-                        sender=self.id,
-                        recipient=neighbor,
-                        hops=message.hops + 1,
-                        subscription=dependent.subscription,
-                        origin=dependent.origin or self.id,
-                        injected_at=message.injected_at,
-                        sent_at=message.delivered_at,
-                    )
-                )
+            more_out, more_decisions = self._readvertise_dependents(
+                neighbor, uid, message
+            )
+            outgoing.extend(more_out)
+            decisions.extend(more_decisions)
         return outgoing, decisions
+
+    def _readvertise_dependents(
+        self, neighbor: str, departed_id: str, message: Message
+    ) -> Tuple[List[Message], List[SubscriptionDecision]]:
+        """Re-check subscriptions whose suppression relied on ``departed_id``.
+
+        Each dependent is run through a fresh reduction decision against
+        the link's remaining advertisements and re-advertised (directly or
+        inside a new merged box) when no longer covered, so downstream
+        brokers regain the reverse path.
+        """
+        suppressed_here = self.suppressed.get(neighbor, {})
+        dependents = [
+            sid for sid, covers in suppressed_here.items() if departed_id in covers
+        ]
+        outgoing: List[Message] = []
+        decisions: List[SubscriptionDecision] = []
+        for sid in dependents:
+            del suppressed_here[sid]
+            dependent = self.routing.get(sid)
+            if dependent is None:
+                continue
+            decision = self._coverage_decision(dependent.subscription, neighbor)
+            decisions.append(decision)
+            self.decisions.append(decision)
+            if decision.merged is not None:
+                outgoing.extend(
+                    self._apply_merge_advertisement(decision, message)
+                )
+                continue
+            if not decision.forwarded:
+                suppressed_here[sid] = set(decision.covered_by)
+                continue
+            self.sent.setdefault(neighbor, {})[sid] = dependent.subscription
+            outgoing.append(
+                SubscriptionMessage(
+                    sender=self.id,
+                    recipient=neighbor,
+                    hops=message.hops + 1,
+                    subscription=dependent.subscription,
+                    origin=dependent.origin or self.id,
+                    injected_at=message.injected_at,
+                    sent_at=message.delivered_at,
+                )
+            )
+        return outgoing, decisions
+
+    def _shrink_merged_membership(
+        self, neighbor: str, uid: str, message: Message
+    ) -> Tuple[List[Message], List[SubscriptionDecision]]:
+        """Drop ``uid`` from the merged advertisement representing it.
+
+        While other members remain, the (over-approximating) merged box
+        stays advertised — retracting or re-tightening it would cost a
+        message per departure, and coverage of the remaining members still
+        holds.  When the last member leaves, the merged advertisement is
+        retracted and suppressions that depended on it are re-checked.
+        """
+        members_here = self.merge_members.get(neighbor, {})
+        for merged_id, member_set in members_here.items():
+            if uid not in member_set:
+                continue
+            member_set.discard(uid)
+            if member_set:
+                return [], []
+            del members_here[merged_id]
+            self.sent.get(neighbor, {}).pop(merged_id, None)
+            outgoing: List[Message] = [
+                UnsubscriptionMessage(
+                    sender=self.id,
+                    recipient=neighbor,
+                    hops=message.hops + 1,
+                    subscription_id=merged_id,
+                    origin=message.origin,
+                    injected_at=message.injected_at,
+                    sent_at=message.delivered_at,
+                )
+            ]
+            more_out, decisions = self._readvertise_dependents(
+                neighbor, merged_id, message
+            )
+            return outgoing + more_out, decisions
+        return [], []
 
     def handle_publication(self, message: PublicationMessage) -> List[Message]:
         """Process a publication, delivering locally and forwarding.
@@ -346,22 +512,25 @@ class Broker:
 
         matching = self.routing.matching_entries(publication)
         targets: List[str] = []
+        delivered_any = False
         for entry in matching:
             if entry.source_kind is SourceKind.LOCAL:
-                self.delivered.append(
-                    NotificationRecord(
-                        broker=self.id,
-                        subscriber=entry.source_id,
-                        subscription_id=entry.subscription.id,
-                        publication_id=publication.id,
-                    )
-                )
-                if self.record_latencies:
-                    self.delivered_latencies.append(
-                        message.delivered_at - message.injected_at
-                    )
+                if not self.strategy.merges:
+                    self._deliver(entry, message)
+                    delivered_any = True
             elif entry.source_id != message.sender and entry.source_id not in targets:
                 targets.append(entry.source_id)
+        if self.strategy.merges:
+            # Local delivery runs through the merged group filters: every
+            # member of a matching group is notified, even when its own
+            # subscription does not match (client-side filtering) — those
+            # extra notifications are the merge's false positives.
+            delivered_any = self._deliver_merged_local(publication, message)
+        if message.sender is not None and not delivered_any and not targets:
+            # A neighbour routed the publication here although nothing
+            # matches: dead-end traffic attracted by an over-approximating
+            # (merged) advertisement.
+            self.dead_letter_publications += 1
 
         return [
             PublicationMessage(
@@ -375,6 +544,82 @@ class Broker:
             )
             for target in targets
         ]
+
+    def _deliver(self, entry: RouteEntry, message: PublicationMessage) -> None:
+        """Record one notification to a local subscriber."""
+        self.delivered.append(
+            NotificationRecord(
+                broker=self.id,
+                subscriber=entry.source_id,
+                subscription_id=entry.subscription.id,
+                publication_id=message.publication.id,
+            )
+        )
+        if self.record_latencies:
+            self.delivered_latencies.append(
+                message.delivered_at - message.injected_at
+            )
+
+    def _deliver_merged_local(
+        self, publication, message: PublicationMessage
+    ) -> bool:
+        """Deliver through the merged local filters; returns whether any fired."""
+        delivered = False
+        for group in self._local_groups:
+            if not group.filter.matches(publication):
+                continue
+            for entry in group.members:
+                self._deliver(entry, message)
+                delivered = True
+                if not entry.subscription.matches(publication):
+                    self.false_positive_deliveries += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Merged local delivery groups
+    # ------------------------------------------------------------------
+    def _local_group_add(self, entry: RouteEntry) -> None:
+        """Attach a local subscription to its cheapest in-budget group.
+
+        Shares the merging strategies' greedy rule (`cheapest_merge`): the
+        group whose filter absorbs the newcomer with the smallest relative
+        false volume wins; when no group fits the budget the subscription
+        seeds a group of its own.
+        """
+        found = cheapest_merge(
+            entry.subscription,
+            [group.filter for group in self._local_groups],
+            self.merge_budget,
+        )
+        if found is None:
+            self._local_groups.append(
+                _LocalMergeGroup(filter=entry.subscription, members=[entry])
+            )
+            return
+        group_index, outcome = found
+        group = self._local_groups[group_index]
+        group.filter = outcome.merged
+        group.members.append(entry)
+
+    def _local_group_remove(self, subscription_id: str) -> None:
+        """Detach a local subscription from its group, re-tightening it."""
+        for index, group in enumerate(self._local_groups):
+            members = [
+                entry
+                for entry in group.members
+                if entry.subscription.id != subscription_id
+            ]
+            if len(members) == len(group.members):
+                continue
+            if not members:
+                del self._local_groups[index]
+                return
+            group.members = members
+            hull = members[0].subscription
+            for entry in members[1:]:
+                hull = hull.union_hull(entry.subscription)
+            group.filter = hull
+            return
 
     # ------------------------------------------------------------------
     # Introspection

@@ -18,6 +18,17 @@ _BOOKKEEPING_FIELDS = (
     "delivery_latency_count",
     "queue_depth_high_water",
     "batched_publications",
+    "missed_count",
+)
+
+#: counters that only the merging strategies can move — reported in phase
+#: diffs and summaries only when non-zero, so the metric dictionaries of
+#: covering-policy runs are byte-identical to what they always were
+_REDUCTION_FIELDS = (
+    "false_positive_notifications",
+    "merged_advertisements",
+    "merge_false_volume",
+    "dead_letter_publications",
 )
 
 
@@ -56,12 +67,25 @@ class MetricsSnapshot:
     suppressed_subscriptions: int = 0
     subsumption_checks: int = 0
     rspc_iterations: int = 0
+    #: notifications delivered although the subscriber's own subscription
+    #: did not match (merged-filter client-side-filtering cost)
+    false_positive_notifications: int = 0
+    #: merged bounding boxes advertised in place of exact subscriptions
+    merged_advertisements: int = 0
+    #: total over-approximated volume introduced by those merges
+    merge_false_volume: float = 0.0
+    #: publications a neighbour routed to a broker where nothing matched
+    dead_letter_publications: int = 0
     #: number of delivery latencies recorded so far (interval bookkeeping)
     delivery_latency_count: int = 0
     #: kernel queue-depth high-water mark at snapshot time
     queue_depth_high_water: int = 0
     #: publications that travelled inside an egress batch so far
     batched_publications: int = 0
+    #: exact count of missed (expected but undelivered) notifications so
+    #: far — bookkeeping; under merging the raw counter difference would
+    #: let false positives mask genuine misses
+    missed_count: int = 0
 
     def diff(self, earlier: "MetricsSnapshot") -> Dict[str, float]:
         """Counter deltas from ``earlier`` to this snapshot.
@@ -69,20 +93,36 @@ class MetricsSnapshot:
         Returns a plain dictionary with one entry per counter plus the
         derived ``missed_notifications`` and ``delivery_ratio`` of the
         interval.  Bookkeeping fields (latency sample counts, queue
-        high-water marks) are omitted; :meth:`NetworkMetrics.diff` layers
-        the latency statistics on top when latency tracking is active.
+        high-water marks) are omitted, and the merging-only counters
+        (false positives, merged advertisements, dead letters) appear
+        only when they moved; :meth:`NetworkMetrics.diff` layers the
+        latency statistics on top when latency tracking is active.
         """
         delta = {
             spec.name: getattr(self, spec.name) - getattr(earlier, spec.name)
             for spec in fields(self)
         }
+        # The exact missed count comes from the oracle bookkeeping; the
+        # counter difference is the fallback for metrics maintained by
+        # hand.  Under merging the bookkeeping dominates (false positives
+        # inflate ``notifications`` and would mask genuine misses).
+        missed = max(
+            self.missed_count - earlier.missed_count,
+            (self.expected_notifications - earlier.expected_notifications)
+            - (self.notifications - earlier.notifications),
+            0,
+        )
         for name in _BOOKKEEPING_FIELDS:
             delta.pop(name, None)
+        for name in _REDUCTION_FIELDS:
+            if not delta.get(name):
+                delta.pop(name, None)
+        if "merge_false_volume" in delta:
+            delta["merge_false_volume"] = round(delta["merge_false_volume"], 6)
         expected = delta["expected_notifications"]
-        delivered = delta["notifications"]
-        delta["missed_notifications"] = max(expected - delivered, 0)
+        delta["missed_notifications"] = missed
         delta["delivery_ratio"] = (
-            1.0 if expected == 0 else round(delivered / expected, 6)
+            1.0 if expected == 0 else round((expected - missed) / expected, 6)
         )
         return delta
 
@@ -117,6 +157,19 @@ class NetworkMetrics:
     rspc_iterations:
         Total random guesses spent by the probabilistic checker across the
         network.
+    false_positive_notifications:
+        Notifications delivered through a merged filter although the
+        subscriber's own subscription did not match the publication — the
+        imprecision cost of the merging reduction strategies (always 0
+        under the covering strategies).
+    merged_advertisements:
+        Per-link decisions that replaced exact advertisements with a
+        merged bounding box.
+    merge_false_volume:
+        Total over-approximated volume those merges introduced.
+    dead_letter_publications:
+        Publications a neighbour routed to a broker where nothing matched
+        (dead-end traffic attracted by merged advertisements).
     batched_publications:
         Publications that travelled inside an egress batch (0 unless the
         kernel's ``batch_size`` > 1).
@@ -139,6 +192,10 @@ class NetworkMetrics:
     suppressed_subscriptions: int = 0
     subsumption_checks: int = 0
     rspc_iterations: int = 0
+    false_positive_notifications: int = 0
+    merged_advertisements: int = 0
+    merge_false_volume: float = 0.0
+    dead_letter_publications: int = 0
     batched_publications: int = 0
     queue_depth_high_water: int = 0
     #: high-water mark of the current phase interval (reset at each
@@ -147,19 +204,36 @@ class NetworkMetrics:
     track_latency: bool = False
     delivered: List[NotificationRecord] = field(default_factory=list)
     missed: List[NotificationRecord] = field(default_factory=list)
+    #: delivered notifications whose subscription did not actually match
+    #: the publication (merged-filter false positives)
+    false_positives: List[NotificationRecord] = field(default_factory=list)
     delivery_latencies: List[float] = field(default_factory=list)
 
     @property
     def delivery_ratio(self) -> float:
-        """Delivered / expected notifications (1.0 when nothing expected)."""
+        """Fraction of *owed* notifications delivered (1.0 when none owed).
+
+        False-positive deliveries do not count toward the ratio, so a
+        merging run cannot mask misses with spurious traffic.
+        """
         if self.expected_notifications == 0:
             return 1.0
-        return self.notifications / self.expected_notifications
+        owed = self.expected_notifications
+        return (owed - self.missed_notifications) / owed
 
     @property
     def missed_notifications(self) -> int:
-        """Expected notifications that never reached their subscriber."""
-        return max(self.expected_notifications - self.notifications, 0)
+        """Expected notifications that never reached their subscriber.
+
+        The oracle's missed list is exact; the counter difference is the
+        fallback for hand-maintained metrics (false positives inflate
+        ``notifications``, so under merging the list dominates).
+        """
+        return max(
+            len(self.missed),
+            self.expected_notifications - self.notifications,
+            0,
+        )
 
     def snapshot(self) -> MetricsSnapshot:
         """An immutable copy of the current counters."""
@@ -172,9 +246,14 @@ class NetworkMetrics:
             suppressed_subscriptions=self.suppressed_subscriptions,
             subsumption_checks=self.subsumption_checks,
             rspc_iterations=self.rspc_iterations,
+            false_positive_notifications=self.false_positive_notifications,
+            merged_advertisements=self.merged_advertisements,
+            merge_false_volume=self.merge_false_volume,
+            dead_letter_publications=self.dead_letter_publications,
             delivery_latency_count=len(self.delivery_latencies),
             queue_depth_high_water=self.queue_depth_high_water,
             batched_publications=self.batched_publications,
+            missed_count=len(self.missed),
         )
 
     def diff(self, earlier: MetricsSnapshot) -> Dict[str, float]:
@@ -229,4 +308,13 @@ class NetworkMetrics:
             summary["queue_depth_high_water"] = self.queue_depth_high_water
         if self.batched_publications:
             summary["batched_publications"] = self.batched_publications
+        if self.merged_advertisements:
+            summary["merged_advertisements"] = self.merged_advertisements
+            summary["merge_false_volume"] = round(self.merge_false_volume, 6)
+        if self.false_positive_notifications:
+            summary["false_positive_notifications"] = (
+                self.false_positive_notifications
+            )
+        if self.dead_letter_publications:
+            summary["dead_letter_publications"] = self.dead_letter_publications
         return summary

@@ -37,6 +37,7 @@ from repro.broker.messages import (
 )
 from repro.broker.metrics import MetricsSnapshot, NetworkMetrics
 from repro.broker.sim import EventKernel, LatencyModel, LognormalLatency, make_latency_model
+from repro.core.policies import DEFAULT_MERGE_BUDGET, policy_value, resolve_policy
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
 from repro.matching.backends import make_backend
@@ -56,7 +57,11 @@ class BrokerNetwork:
         Logical links as ``(broker_a, broker_b)`` pairs; brokers are created
         on first mention.
     policy:
-        Covering policy applied by every broker.
+        Reduction strategy applied by every broker (a name from
+        :data:`~repro.core.policies.STRATEGY_NAMES`).
+    merge_budget:
+        False-volume budget of the merging strategies (ignored by the
+        covering-only ones).
     delta:
         Error bound of the probabilistic checker (``group`` policy).
     max_iterations:
@@ -93,8 +98,10 @@ class BrokerNetwork:
         latency_model: str = "zero",
         batch_size: int = 1,
         dedup_window: int = 4096,
+        merge_budget: float = DEFAULT_MERGE_BUDGET,
     ):
-        self.policy = CoveringPolicyName(policy)
+        self.policy = resolve_policy(policy)
+        self.merge_budget = merge_budget
         self.delta = delta
         self.max_iterations = max_iterations
         self.matcher_backend = matcher_backend
@@ -144,6 +151,7 @@ class BrokerNetwork:
             matcher_backend=self.matcher_backend,
             dedup_window=self.dedup_window,
             record_latencies=self.metrics.track_latency,
+            merge_budget=self.merge_budget,
         )
         self.brokers[broker_id] = broker
         return broker
@@ -307,10 +315,22 @@ class BrokerNetwork:
             (record.subscriber, record.subscription_id, record.publication_id)
             for record in delivered
         }
+        expected_keys = {
+            (record.subscriber, record.subscription_id, record.publication_id)
+            for record in expected
+        }
         for record in expected:
             key = (record.subscriber, record.subscription_id, record.publication_id)
             if key not in delivered_keys:
                 self.metrics.missed.append(record)
+        for record in delivered:
+            key = (record.subscriber, record.subscription_id, record.publication_id)
+            if key not in expected_keys:
+                # Delivered although no subscription asked for it: a
+                # merged-filter false positive (impossible under the
+                # covering strategies).
+                self.metrics.false_positives.append(record)
+                self.metrics.false_positive_notifications += 1
         return delivered
 
     def _broker_of(self, client_id: str) -> str:
@@ -366,14 +386,22 @@ class BrokerNetwork:
                 # One hop (and one latency sample) for the whole batch.
                 self.metrics.publication_messages += 1
                 self.metrics.batched_publications += len(message.messages)
+                dead_before = broker.dead_letter_publications
                 outgoing = []
                 for inner in message.messages:
                     inner.delivered_at = message.delivered_at
                     outgoing.extend(broker.handle_publication(inner))
+                self.metrics.dead_letter_publications += (
+                    broker.dead_letter_publications - dead_before
+                )
             elif isinstance(message, PublicationMessage):
                 if message.sender is not None:
                     self.metrics.publication_messages += 1
+                dead_before = broker.dead_letter_publications
                 outgoing = broker.handle_publication(message)
+                self.metrics.dead_letter_publications += (
+                    broker.dead_letter_publications - dead_before
+                )
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown message type {type(message)!r}")
             for out in outgoing:
@@ -387,7 +415,10 @@ class BrokerNetwork:
         for decision in decisions:
             self.metrics.subsumption_checks += 1
             self.metrics.rspc_iterations += decision.rspc_iterations
-            if not decision.forwarded:
+            if decision.merged is not None:
+                self.metrics.merged_advertisements += 1
+                self.metrics.merge_false_volume += decision.false_volume
+            elif not decision.forwarded:
                 self.metrics.suppressed_subscriptions += 1
 
     # ------------------------------------------------------------------
@@ -419,6 +450,7 @@ class BrokerNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
-            f"BrokerNetwork(brokers={len(self.brokers)}, policy={self.policy.value!r}, "
+            f"BrokerNetwork(brokers={len(self.brokers)}, "
+            f"policy={policy_value(self.policy)!r}, "
             f"latency={self.latency_model.spec!r})"
         )

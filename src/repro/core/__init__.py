@@ -42,6 +42,16 @@ from repro.core.merging import (
     perfect_merge_candidates,
 )
 from repro.core.pairwise import PairwiseCoverageChecker, PairwiseResult
+from repro.core.policies import (
+    DEFAULT_MERGE_BUDGET,
+    ReductionDecision,
+    ReductionPolicyName,
+    ReductionStrategy,
+    STRATEGY_NAMES,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.core.results import Answer, DecisionMethod, SubsumptionResult
 from repro.core.rspc import RSPCOutcome, RSPCResult, run_rspc
 from repro.core.store import CoveringPolicyName, SubscriptionStore
@@ -70,6 +80,14 @@ __all__ = [
     "PairwiseResult",
     "RSPCOutcome",
     "RSPCResult",
+    "DEFAULT_MERGE_BUDGET",
+    "ReductionDecision",
+    "ReductionPolicyName",
+    "ReductionStrategy",
+    "STRATEGY_NAMES",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
     "SubscriptionStore",
     "SubsumptionChecker",
     "SubsumptionResult",

@@ -34,6 +34,7 @@ from repro.model.subscriptions import Subscription
 __all__ = [
     "MergeResult",
     "merge_pair",
+    "cheapest_merge",
     "false_positive_volume",
     "perfect_merge_candidates",
     "GreedyMerger",
@@ -86,6 +87,32 @@ def merge_pair(first: Subscription, second: Subscription) -> MergeResult:
     return MergeResult(
         merged=merged, false_volume=false_volume, relative_overhead=overhead
     )
+
+
+def cheapest_merge(
+    target: Subscription,
+    candidates: Sequence[Subscription],
+    max_relative_overhead: float,
+) -> Optional[Tuple[int, MergeResult]]:
+    """Cheapest in-budget bounding-box merge of ``target`` with one candidate.
+
+    The single greedy rule every merging consumer shares: the candidate
+    whose merge with ``target`` introduces the smallest relative false
+    volume wins, ties broken toward the smaller merged box.  Returns the
+    winning candidate's index and the merge outcome, or ``None`` when no
+    candidate stays within ``max_relative_overhead``.
+    """
+    best: Optional[Tuple[Tuple[float, float], int, MergeResult]] = None
+    for index, candidate in enumerate(candidates):
+        outcome = merge_pair(candidate, target)
+        if outcome.relative_overhead > max_relative_overhead:
+            continue
+        key = (outcome.relative_overhead, outcome.merged.size())
+        if best is None or key < best[0]:
+            best = (key, index, outcome)
+    if best is None:
+        return None
+    return best[1], best[2]
 
 
 def perfect_merge_candidates(

@@ -8,18 +8,16 @@ A broker (or a standalone matching server) keeps two subscription pools:
   still needed locally for notification delivery (Algorithm 5 falls back to
   them only when an active subscription matched).
 
-:class:`SubscriptionStore` maintains the two pools incrementally under one
-of three policies:
-
-``none``
-    Every subscription stays active (subscription flooding).
-``pairwise``
-    The classical baseline — a subscription is demoted only when a single
-    existing subscription covers it.
-``group``
-    The paper's contribution — a subscription is demoted when the
-    probabilistic group-subsumption checker declares it covered by the
-    *union* of the active set.
+:class:`SubscriptionStore` maintains the two pools incrementally under a
+pluggable :class:`~repro.core.policies.ReductionStrategy` (``none``,
+``pairwise``, ``group``, ``merging``, ``hybrid``, or any strategy
+registered with :func:`~repro.core.policies.register_strategy`).  All
+policy branching lives in :mod:`repro.core.policies`; the store only
+*applies* decisions: forwarded subscriptions join the active pool,
+suppressed ones the covered pool, and replaced-by-merged decisions swap
+the absorbed active subscriptions for the merged bounding box (the
+absorbed originals stay in the covered pool so notification delivery
+remains exact).
 
 The store also records which subscription(s) covered each demoted entry,
 which the matching engine's multi-level optimisation and the unsubscription
@@ -29,10 +27,15 @@ path (promote covered subscriptions when their coverer leaves) rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.pairwise import PairwiseCoverageChecker
+from repro.core.policies import (
+    DEFAULT_MERGE_BUDGET,
+    ReductionDecision,
+    ReductionPolicyName,
+    ReductionStrategy,
+    make_strategy,
+)
 from repro.core.results import SubsumptionResult
 from repro.core.subsumption import SubsumptionChecker
 from repro.model.subscriptions import Subscription
@@ -44,13 +47,9 @@ __all__ = [
     "SubscriptionStore",
 ]
 
-
-class CoveringPolicyName(str, Enum):
-    """Subscription-reduction policy of a store/broker."""
-
-    NONE = "none"
-    PAIRWISE = "pairwise"
-    GROUP = "group"
+#: historical name of the policy enum, kept as the public alias — the
+#: reduction-strategy layer owns the definition now
+CoveringPolicyName = ReductionPolicyName
 
 
 @dataclass
@@ -66,12 +65,22 @@ class StoreDecision:
         propagated to neighbours).
     covered_by:
         Identifiers of the subscriptions that cover it (for pair-wise: the
-        single coverer; for group: the active set snapshot that covered it).
+        single coverer; for group: the MCS minimized cover set; for a
+        merge: the merged box's identifier).
     demoted:
         Active subscriptions demoted to covered because the newcomer covers
         them pair-wise.
     result:
-        The full group-subsumption result when the group policy ran.
+        The full group-subsumption result when the probabilistic checker
+        ran.
+    merged:
+        The synthetic bounding-box subscription that joined the active set
+        in the newcomer's place (merging strategies only).
+    replaced:
+        Active subscriptions absorbed by the merge (they moved to the
+        covered pool, covered by ``merged``).
+    false_volume:
+        Measure of the over-approximated region the merge introduced.
     """
 
     subscription: Subscription
@@ -79,6 +88,9 @@ class StoreDecision:
     covered_by: Tuple[str, ...] = ()
     demoted: Tuple[Subscription, ...] = ()
     result: Optional[SubsumptionResult] = None
+    merged: Optional[Subscription] = None
+    replaced: Tuple[Subscription, ...] = ()
+    false_volume: float = 0.0
 
 
 @dataclass
@@ -101,26 +113,50 @@ class RemovalOutcome:
         matcher indexes incrementally instead of rebuilding them.
     promoted:
         The re-inserted subscriptions that returned to the active set.
+    retracted:
+        Synthetic merged bounding boxes dropped because the departing
+        subscription was their last remaining member (merging strategies
+        only) — mirrored out of the matcher indexes by the engine.
     """
 
     subscription: Optional[Subscription]
     was_active: bool = False
     reinsertions: Tuple[StoreDecision, ...] = ()
     promoted: Tuple[Subscription, ...] = ()
+    retracted: Tuple[Subscription, ...] = ()
 
 
 class SubscriptionStore:
-    """Active/covered subscription pools under a covering policy."""
+    """Active/covered subscription pools under a reduction strategy.
+
+    Parameters
+    ----------
+    policy:
+        Reduction-strategy name (or an already constructed
+        :class:`~repro.core.policies.ReductionStrategy` instance).
+    checker:
+        Group-subsumption checker used by the probabilistic strategies.
+    merge_budget:
+        False-volume budget of the merging strategies (ignored by the
+        covering-only ones).
+    """
 
     def __init__(
         self,
         policy: CoveringPolicyName = CoveringPolicyName.GROUP,
         checker: Optional[SubsumptionChecker] = None,
+        merge_budget: float = DEFAULT_MERGE_BUDGET,
     ):
-        self.policy = CoveringPolicyName(policy)
-        self.checker = checker or SubsumptionChecker()
+        self._checker = checker or SubsumptionChecker()
+        self.strategy: ReductionStrategy = make_strategy(
+            policy, checker=self._checker, merge_budget=merge_budget
+        )
+        self.policy = self.strategy.name
         self._active: List[Subscription] = []
         self._covered: List[Subscription] = []
+        #: identifiers of the synthetic merged bounding boxes currently
+        #: stored (merging strategies only) — retracted once orphaned
+        self._merged_ids: set = set()
         #: covered-subscription id -> ids of the subscriptions covering it
         self.cover_links: Dict[str, Tuple[str, ...]] = {}
         #: cumulative statistics for the experiments
@@ -132,7 +168,22 @@ class SubscriptionStore:
             "rspc_iterations": 0,
             "removed": 0,
             "promoted": 0,
+            "merges": 0,
+            "false_volume": 0.0,
         }
+
+    @property
+    def checker(self) -> SubsumptionChecker:
+        """The group-subsumption checker backing the reduction strategy."""
+        return self._checker
+
+    @checker.setter
+    def checker(self, value: SubsumptionChecker) -> None:
+        # Keep the strategy in sync, so swapping the store's checker swaps
+        # the one actually consulted.
+        self._checker = value
+        if hasattr(self.strategy, "checker"):
+            self.strategy.checker = value
 
     # ------------------------------------------------------------------
     # Views
@@ -157,6 +208,20 @@ class SubscriptionStore:
         """Total number of stored subscriptions."""
         return len(self._active) + len(self._covered)
 
+    @property
+    def propagated_count(self) -> int:
+        """Size of the subscription set a broker would propagate upstream.
+
+        For the covering strategies this is the historical measure of the
+        comparison experiment — the cumulative count of subscriptions not
+        declared covered on arrival.  Merging strategies *shrink* their
+        advertised set over time, so for them the current active-set size
+        (the merged advertisements) is the honest state measure.
+        """
+        if self.strategy.merges:
+            return self.active_count
+        return int(self.stats["forwarded"])
+
     def find(self, subscription_id: str) -> Optional[Subscription]:
         """Look up a stored subscription by identifier."""
         for bucket in (self._active, self._covered):
@@ -169,51 +234,79 @@ class SubscriptionStore:
     # Mutations
     # ------------------------------------------------------------------
     def add(self, subscription: Subscription) -> StoreDecision:
-        """Insert a subscription and decide whether it must be forwarded."""
+        """Insert a subscription and decide whether it must be forwarded.
+
+        The verdict comes from the store's reduction strategy; this method
+        only applies it to the pools and the cover links.
+        """
         self.stats["added"] += 1
+        decision = self.strategy.decide(subscription, self._active)
+        self.stats["rspc_iterations"] += decision.rspc_iterations
 
-        if self.policy is CoveringPolicyName.NONE:
+        if decision.merged is not None:
+            return self._apply_merge(decision)
+
+        if decision.forwarded:
+            demoted = (
+                self._demote_covered_by(subscription)
+                if self.strategy.demotes_on_forward
+                else ()
+            )
             self._active.append(subscription)
             self.stats["forwarded"] += 1
-            return StoreDecision(subscription, forwarded=True)
-
-        if self.policy is CoveringPolicyName.PAIRWISE:
-            check = PairwiseCoverageChecker.check(subscription, self._active)
-            if check.covered:
-                self._covered.append(subscription)
-                self.cover_links[subscription.id] = (check.covering.id,)
-                self.stats["suppressed"] += 1
-                return StoreDecision(
-                    subscription,
-                    forwarded=False,
-                    covered_by=(check.covering.id,),
-                )
-            demoted = self._demote_covered_by(subscription)
-            self._active.append(subscription)
-            self.stats["forwarded"] += 1
-            return StoreDecision(subscription, forwarded=True, demoted=demoted)
-
-        # Group policy: probabilistic union coverage against the active set.
-        result = self.checker.check(subscription, self._active)
-        self.stats["rspc_iterations"] += result.iterations_performed
-        if result.covered:
-            self._covered.append(subscription)
-            coverers = tuple(existing.id for existing in self._active)
-            if result.covering_row is not None:
-                coverers = (self._active[result.covering_row].id,)
-            self.cover_links[subscription.id] = coverers
-            self.stats["suppressed"] += 1
             return StoreDecision(
                 subscription,
-                forwarded=False,
-                covered_by=coverers,
-                result=result,
+                forwarded=True,
+                demoted=demoted,
+                result=decision.result,
             )
-        demoted = self._demote_covered_by(subscription)
-        self._active.append(subscription)
-        self.stats["forwarded"] += 1
+
+        self._covered.append(subscription)
+        self.cover_links[subscription.id] = decision.covered_by
+        self.stats["suppressed"] += 1
         return StoreDecision(
-            subscription, forwarded=True, demoted=demoted, result=result
+            subscription,
+            forwarded=False,
+            covered_by=decision.covered_by,
+            result=decision.result,
+        )
+
+    def _apply_merge(self, decision: ReductionDecision) -> StoreDecision:
+        """Swap the absorbed active subscriptions for the merged box.
+
+        The absorbed originals (and the newcomer) move to the covered pool
+        — the merged box pair-wise covers each of them, so notification
+        delivery stays exact — while only the merged bounding box remains
+        active (and would be propagated by an owning broker).
+        """
+        subscription = decision.subscription
+        merged = decision.merged
+        replaced_ids = set(decision.replaced)
+        replaced: List[Subscription] = []
+        remaining: List[Subscription] = []
+        for existing in self._active:
+            if existing.id in replaced_ids:
+                replaced.append(existing)
+                self._covered.append(existing)
+                self.cover_links[existing.id] = (merged.id,)
+            else:
+                remaining.append(existing)
+        self._active = remaining
+        self._covered.append(subscription)
+        self.cover_links[subscription.id] = (merged.id,)
+        self._active.append(merged)
+        self._merged_ids.add(merged.id)
+        self.stats["suppressed"] += 1
+        self.stats["merges"] += 1
+        self.stats["false_volume"] += decision.false_volume
+        return StoreDecision(
+            subscription,
+            forwarded=False,
+            covered_by=(merged.id,),
+            result=decision.result,
+            merged=merged,
+            replaced=tuple(replaced),
+            false_volume=decision.false_volume,
         )
 
     def _demote_covered_by(
@@ -262,9 +355,15 @@ class SubscriptionStore:
             for index, subscription in enumerate(self._covered):
                 if subscription.id == subscription_id:
                     del self._covered[index]
-                    self.cover_links.pop(subscription_id, None)
+                    links = self.cover_links.pop(subscription_id, ())
+                    if self.strategy.merges and links:
+                        self._reroute_dangling_links(subscription_id, links)
                     self.stats["removed"] += 1
-                    return RemovalOutcome(subscription, was_active=False)
+                    return RemovalOutcome(
+                        subscription,
+                        was_active=False,
+                        retracted=self._retract_orphaned_merges(links),
+                    )
             return RemovalOutcome(None)
 
         self.stats["removed"] += 1
@@ -291,6 +390,70 @@ class SubscriptionStore:
             reinsertions=tuple(reinsertions),
             promoted=tuple(promoted),
         )
+
+    def _reroute_dangling_links(
+        self, departed_id: str, replacements: Sequence[str]
+    ) -> None:
+        """Substitute a departed coverer with its own coverers.
+
+        Under the merging strategies a covered subscription can cover
+        others (it may have been an active coverer before being absorbed
+        into a merged box).  When it unsubscribes, dependents that named
+        it are re-pointed at *its* coverers — transitively sound, since
+        each coverer contains the departed subscription — so the merged
+        box cannot be retracted while it still represents them.
+        """
+        for sid, links in self.cover_links.items():
+            if departed_id not in links:
+                continue
+            self.cover_links[sid] = tuple(
+                dict.fromkeys(
+                    replacement
+                    for link in links
+                    for replacement in (
+                        replacements if link == departed_id else (link,)
+                    )
+                )
+            )
+
+    def _retract_orphaned_merges(
+        self, coverer_ids: Sequence[str]
+    ) -> Tuple[Subscription, ...]:
+        """Drop synthetic merged boxes whose last member just departed.
+
+        A merged bounding box only exists to represent its members; once
+        no covered subscription links to it any more it is retracted (the
+        broker layer does the same per link).  A retracted box that was
+        itself absorbed into a bigger merge may orphan that one in turn,
+        so the check cascades.
+        """
+        if not self._merged_ids:
+            return ()
+        retracted: List[Subscription] = []
+        pending = [cid for cid in coverer_ids if cid in self._merged_ids]
+        while pending:
+            merged_id = pending.pop()
+            if merged_id not in self._merged_ids:
+                continue
+            if any(
+                merged_id in links for links in self.cover_links.values()
+            ):
+                continue  # still represents someone
+            for pool in (self._active, self._covered):
+                for index, subscription in enumerate(pool):
+                    if subscription.id == merged_id:
+                        del pool[index]
+                        self._merged_ids.discard(merged_id)
+                        retracted.append(subscription)
+                        links = self.cover_links.pop(merged_id, ())
+                        pending.extend(
+                            cid for cid in links if cid in self._merged_ids
+                        )
+                        break
+                else:
+                    continue
+                break
+        return tuple(retracted)
 
     def __len__(self) -> int:
         return self.total_count

@@ -163,6 +163,10 @@ class SubsumptionChecker:
         }
         if reduction is not None:
             details["mcs_passes"] = reduction.iterations
+            # The minimized cover set the verdict was actually computed
+            # against — the minimal dependency set of a covered verdict
+            # (consumed by the reduction-strategy layer).
+            details["mcs_kept_rows"] = tuple(reduction.kept_rows)
 
         if rspc.outcome is RSPCOutcome.WITNESS_FOUND:
             return SubsumptionResult(

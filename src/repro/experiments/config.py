@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
+from repro.core.policies import DEFAULT_MERGE_BUDGET
+
 __all__ = [
     "RedundantCoveringConfig",
     "NonCoverConfig",
@@ -118,7 +120,14 @@ class ExtremeNonCoverConfig:
 
 @dataclass
 class ComparisonConfig:
-    """Configuration of the pair-wise vs group comparison (Figures 13–14)."""
+    """Configuration of the reduction-strategy comparison (Figures 13–14).
+
+    ``strategies`` names the reduction strategies to stream the workload
+    through (registry names from
+    :data:`repro.core.policies.STRATEGY_NAMES`); the first one is the
+    ratio baseline of Figure 14.  The default pair reproduces the paper's
+    pair-wise vs group comparison exactly.
+    """
 
     total_subscriptions: int = 1_000
     m_values: Sequence[int] = (10, 15, 20)
@@ -133,6 +142,8 @@ class ComparisonConfig:
     broad_interest_probability: float = 0.1
     constrained_fraction: float = 0.6
     seed: Optional[int] = 20060403
+    strategies: Sequence[str] = ("pairwise", "group")
+    merge_budget: float = DEFAULT_MERGE_BUDGET
 
     @classmethod
     def paper(cls) -> "ComparisonConfig":

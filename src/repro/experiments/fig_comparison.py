@@ -1,24 +1,31 @@
-"""Figures 13 and 14 — pair-wise vs group coverage (Section 6.4).
+"""Figures 13 and 14 — reduction strategies side by side (Section 6.4).
 
 A stream of subscriptions with power-law popularity (Zipf attribute
-selection, Pareto range centres, normal range widths) is fed into two
-subscription stores: one applying the classical pair-wise covering, one
-applying the paper's probabilistic group covering.  The experiment records
-the growth of the *propagated* subscription set — the subscriptions that
-were not declared covered on arrival and would therefore be forwarded and
-stored by brokers — at regular checkpoints:
+selection, Pareto range centres, normal range widths) is fed into one
+subscription store per configured reduction strategy — the same registry
+(:mod:`repro.core.policies`) the broker network routes with, so the
+figures and the distributed system can never drift apart on policy
+semantics.  The experiment records the growth of the *propagated*
+subscription set — what a broker would forward and store upstream — at
+regular checkpoints:
 
 * **Figure 13** — subscription-set size versus the number of received
-  subscriptions for both policies and every ``m``;
-* **Figure 14** — the ratio of the group-covered set size to the pair-wise
-  set size (the paper's "size ratio").
+  subscriptions for every strategy and every ``m``;
+* **Figure 14** — the ratio of each strategy's set size to the first
+  (baseline) strategy's (the paper's "size ratio").
+
+With the default configuration (``pairwise`` baseline vs ``group``) this
+reproduces the paper's Figures 13/14 exactly; adding ``merging`` or
+``hybrid`` to ``ComparisonConfig.strategies`` extends the comparison to
+the related-work merging trade-off.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.store import CoveringPolicyName, SubscriptionStore
+from repro.core.policies import ReductionPolicyName
+from repro.core.store import SubscriptionStore
 from repro.core.subsumption import SubsumptionChecker
 from repro.experiments.config import ComparisonConfig
 from repro.experiments.series import ResultTable
@@ -28,13 +35,43 @@ from repro.workloads.comparison import ComparisonWorkload
 
 __all__ = ["run_comparison"]
 
+#: strategies that consume a seeded RSPC random stream
+_RSPC_STRATEGIES = (
+    ReductionPolicyName.GROUP.value,
+    ReductionPolicyName.HYBRID.value,
+)
+
+#: registry name -> historical series label (the paper spells it with a
+#: hyphen); unlisted strategies use their registry name verbatim
+_SERIES_LABELS = {"pairwise": "pair-wise"}
+
+#: registry name -> id suffix of the per-store subscription copies (the
+#: baseline store receives the raw stream; ``-g`` is the historical
+#: group-store suffix)
+_ID_SUFFIXES = {
+    "group": "g",
+    "merging": "mg",
+    "hybrid": "hy",
+    "none": "no",
+    "pairwise": "pw",
+}
+
+
+def _series_label(name: str) -> str:
+    return _SERIES_LABELS.get(name, name)
+
 
 def run_comparison(config: ComparisonConfig = ComparisonConfig()) -> Dict[str, ResultTable]:
     """Run the comparison experiment.
 
-    Returns ``{"fig13": …, "fig14": …}``; Figure 13 contains one pair-wise
-    and one group series per ``m``, Figure 14 one ratio series per ``m``.
+    Returns ``{"fig13": …, "fig14": …}``; Figure 13 contains one series
+    per strategy and ``m``, Figure 14 one ratio series (vs the first,
+    baseline strategy) per non-baseline strategy and ``m``.
     """
+    strategies = [str(name) for name in config.strategies]
+    if len(strategies) < 2:
+        raise ValueError("the comparison needs at least two strategies")
+    baseline = strategies[0]
     rng = ensure_rng(config.seed)
     checkpoints = list(
         range(
@@ -44,19 +81,31 @@ def run_comparison(config: ComparisonConfig = ComparisonConfig()) -> Dict[str, R
         )
     )
     fig13 = ResultTable(
-        title="Figure 13 — active subscription set size, pair-wise vs group",
+        title=(
+            "Figure 13 — active subscription set size, "
+            + " vs ".join(_series_label(name) for name in strategies)
+        ),
         x_label="subscriptions",
         notes=f"delta={config.delta:g}",
     )
     fig14 = ResultTable(
-        title="Figure 14 — group/pair-wise set size ratio",
+        title=(
+            f"Figure 14 — set size ratio vs {_series_label(baseline)}"
+            if len(strategies) > 2
+            else f"Figure 14 — {_series_label(strategies[1])}/"
+            f"{_series_label(baseline)} set size ratio"
+        ),
         x_label="subscriptions",
         notes=f"delta={config.delta:g}",
     )
 
     per_m_results: Dict[int, Dict[str, List[float]]] = {}
     for m in config.m_values:
-        workload_rng, checker_rng = spawn_rngs(rng, 2)
+        checker_count = sum(
+            1 for name in strategies if name in _RSPC_STRATEGIES
+        )
+        streams = spawn_rngs(rng, 1 + checker_count)
+        workload_rng, checker_rngs = streams[0], list(streams[1:])
         schema = Schema.uniform_integer(m, 0, config.domain_size)
         workload = ComparisonWorkload(
             schema,
@@ -68,50 +117,66 @@ def run_comparison(config: ComparisonConfig = ComparisonConfig()) -> Dict[str, R
             constrained_fraction=config.constrained_fraction,
             rng=workload_rng,
         )
-        pairwise_store = SubscriptionStore(policy=CoveringPolicyName.PAIRWISE)
-        group_store = SubscriptionStore(
-            policy=CoveringPolicyName.GROUP,
-            checker=SubsumptionChecker(
-                delta=config.delta,
-                max_iterations=config.max_iterations,
-                rng=checker_rng,
-            ),
-        )
-        pairwise_sizes: List[float] = []
-        group_sizes: List[float] = []
+        stores: Dict[str, SubscriptionStore] = {}
+        for name in strategies:
+            checker = None
+            if name in _RSPC_STRATEGIES:
+                checker = SubsumptionChecker(
+                    delta=config.delta,
+                    max_iterations=config.max_iterations,
+                    rng=checker_rngs.pop(0),
+                )
+            stores[name] = SubscriptionStore(
+                policy=name, checker=checker, merge_budget=config.merge_budget
+            )
+        sizes: Dict[str, List[float]] = {name: [] for name in strategies}
         count = 0
         next_checkpoint = 0
         for subscription in workload.stream(config.total_subscriptions):
-            pairwise_store.add(subscription)
-            group_store.add(
-                subscription.replace(subscription_id=f"{subscription.id}-g")
-            )
+            for index, name in enumerate(strategies):
+                copy = (
+                    subscription
+                    if index == 0
+                    else subscription.replace(
+                        subscription_id=(
+                            f"{subscription.id}-{_ID_SUFFIXES.get(name, name)}"
+                        )
+                    )
+                )
+                stores[name].add(copy)
             count += 1
             if next_checkpoint < len(checkpoints) and count == checkpoints[next_checkpoint]:
-                # "Subscription set size" = subscriptions not declared
-                # covered on arrival, i.e. those a broker would propagate
-                # and store (the store's cumulative "forwarded" counter).
-                pairwise_sizes.append(float(pairwise_store.stats["forwarded"]))
-                group_sizes.append(float(group_store.stats["forwarded"]))
+                # "Subscription set size" = what a broker would propagate
+                # and store upstream: the cumulative forwarded count for
+                # the covering strategies (as in the paper), the current
+                # merged advertisement count for the merging ones.
+                for name in strategies:
+                    sizes[name].append(float(stores[name].propagated_count))
                 next_checkpoint += 1
-        per_m_results[m] = {"pairwise": pairwise_sizes, "group": group_sizes}
+        per_m_results[m] = sizes
 
     for index, checkpoint in enumerate(checkpoints):
         fig13_row: Dict[str, float] = {}
         fig14_row: Dict[str, float] = {}
         for m in config.m_values:
-            pairwise_sizes = per_m_results[m]["pairwise"]
-            group_sizes = per_m_results[m]["group"]
-            if index >= len(pairwise_sizes):
+            sizes = per_m_results[m]
+            if index >= len(sizes[baseline]):
                 continue
-            fig13_row[f"m={m}, pair-wise"] = pairwise_sizes[index]
-            fig13_row[f"m={m}, group"] = group_sizes[index]
-            ratio = (
-                group_sizes[index] / pairwise_sizes[index]
-                if pairwise_sizes[index] > 0
-                else 1.0
-            )
-            fig14_row[f"m={m}"] = ratio
+            baseline_size = sizes[baseline][index]
+            for name in strategies:
+                fig13_row[f"m={m}, {_series_label(name)}"] = sizes[name][index]
+            for name in strategies[1:]:
+                ratio = (
+                    sizes[name][index] / baseline_size
+                    if baseline_size > 0
+                    else 1.0
+                )
+                key = (
+                    f"m={m}"
+                    if len(strategies) == 2
+                    else f"m={m}, {_series_label(name)}"
+                )
+                fig14_row[key] = ratio
         fig13.add_row(checkpoint, fig13_row)
         fig14.add_row(checkpoint, fig14_row)
     return {"fig13": fig13, "fig14": fig14}

@@ -48,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.policies import DEFAULT_MERGE_BUDGET
 from repro.core.store import (
     CoveringPolicyName,
     RemovalOutcome,
@@ -109,8 +110,8 @@ class MatchingEngine:
     Parameters
     ----------
     policy:
-        Covering policy of the underlying store (``none`` / ``pairwise`` /
-        ``group``).
+        Reduction strategy of the underlying store (``none`` /
+        ``pairwise`` / ``group`` / ``merging`` / ``hybrid``).
     checker:
         Group-subsumption checker used by the ``group`` policy.
     use_cover_forest:
@@ -122,6 +123,9 @@ class MatchingEngine:
     backend:
         Matcher backend the membership tests are delegated to (one of
         :data:`~repro.matching.backends.BACKEND_NAMES`).
+    merge_budget:
+        False-volume budget of the merging strategies (ignored by the
+        covering-only ones).
     """
 
     def __init__(
@@ -130,13 +134,23 @@ class MatchingEngine:
         checker: Optional[SubsumptionChecker] = None,
         use_cover_forest: bool = True,
         backend: str = "linear",
+        merge_budget: float = DEFAULT_MERGE_BUDGET,
     ):
-        self.store = SubscriptionStore(policy=policy, checker=checker)
+        self.store = SubscriptionStore(
+            policy=policy, checker=checker, merge_budget=merge_budget
+        )
         self.backend = backend
         self.use_cover_forest = use_cover_forest
         #: the forest is worth maintaining only for the linear backend —
-        #: the vectorised covered pass replaces the multi-level walk
-        self._use_forest = use_cover_forest and backend == "linear"
+        #: the vectorised covered pass replaces the multi-level walk.
+        #: Merging strategies swap active-set members around on insertion,
+        #: which the flat covered pass absorbs trivially; the forest adds
+        #: nothing there, so they always run flat.
+        self._use_forest = (
+            use_cover_forest
+            and backend == "linear"
+            and not self.store.strategy.merges
+        )
         self._active_index = make_backend(backend)
         #: only consulted (and therefore only maintained) when the covered
         #: set is tested flat; the forest replaces it for linear+forest
@@ -184,7 +198,17 @@ class MatchingEngine:
         subscription = decision.subscription
         if rejoining and not self._use_forest:
             self._covered_index.remove(subscription.id)
-        if decision.forwarded:
+        if decision.merged is not None:
+            # The merged bounding box replaces the absorbed actives; the
+            # newcomer and the absorbed originals all become covered (the
+            # merged box pair-wise covers each of them, so the Algorithm 5
+            # gate stays sound).
+            self._active_index.add(decision.merged)
+            for replaced in decision.replaced:
+                self._active_index.remove(replaced.id)
+                self._covered_index.add(replaced)
+            self._covered_index.add(subscription)
+        elif decision.forwarded:
             self._active_index.add(subscription)
             for demoted in decision.demoted:
                 self._active_index.remove(demoted.id)
@@ -214,6 +238,12 @@ class MatchingEngine:
             self._active_index.remove(subscription_id)
         elif not self._use_forest:
             self._covered_index.remove(subscription_id)
+        for retracted in outcome.retracted:
+            # An orphaned merged box left the store; it may sit in either
+            # index depending on whether it was itself absorbed.
+            self._active_index.remove(retracted.id)
+            if not self._use_forest:
+                self._covered_index.remove(retracted.id)
         for decision in outcome.reinsertions:
             self._apply_decision(decision, rejoining=True)
         if self._use_forest:

@@ -1,6 +1,6 @@
 """The canonical scenario catalog.
 
-Eight tiers, T0 (seconds, CI smoke) through T3 (stress), built from the
+Ten tiers, T0 (seconds, CI smoke) through T3 (stress), built from the
 repository's workload generators:
 
 ==================  ====  ==============  =======================================
@@ -11,12 +11,16 @@ Name                Tier  Workload        Exercise
                                           baseline for delivery assertions)
 ``t0-latency``      T0    bike-rental     t0-smoke shape under fixed per-hop
                                           latency (timed-kernel smoke)
+``t0-merging``      T0    bike-rental     t0-smoke shape under the merging
+                                          strategy (false-positive smoke)
 ``t1-churn``        T1    bike-rental     subscribe/unsubscribe churn under load
 ``t1-flashcrowd``   T1    bike-rental     repeated flash crowds on a star hub
 ``t2-burst``        T2    comparison      bursty high-volume traffic (benchmark
                                           tier for runner throughput)
 ``t2-paper-mix``    T2    paper-redundant Section 6 covering structure under
                                           dynamic arrival/removal
+``t2-merge-stress`` T2    comparison      t2-burst shape under merging: routing
+                                          state vs false positives under churn
 ``t3-stress``       T3    bike-rental     largest overlay, heavy steady churn
 ==================  ====  ==============  =======================================
 """
@@ -96,6 +100,34 @@ def t0_latency() -> ScenarioSpec:
             PhaseSpec("after-storm", PhaseKind.PUBLISH_BURST, {"count": 10}),
         ],
         tags=("smoke", "ci", "latency"),
+    )
+
+
+@register
+def t0_merging() -> ScenarioSpec:
+    """T0 smoke run of the merging reduction strategy.
+
+    Same shape as ``t0-smoke`` but every broker advertises merged bounding
+    boxes within a false-volume budget, so the report carries merged
+    advertisement counts and false-positive deliveries — the CI check
+    that the merging path stays healthy end to end.
+    """
+    return ScenarioSpec(
+        name="t0-merging",
+        tier="T0",
+        description="Merging-strategy smoke: t0-smoke shape, merged adverts.",
+        workload="bike-rental",
+        topology=TopologySpec(kind="line", size=3),
+        clients=8,
+        policy="merging",
+        merge_budget=0.4,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 12}),
+            PhaseSpec("burst", PhaseKind.PUBLISH_BURST, {"count": 20}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.5}),
+            PhaseSpec("after-storm", PhaseKind.PUBLISH_BURST, {"count": 10}),
+        ],
+        tags=("smoke", "ci", "merging"),
     )
 
 
@@ -215,6 +247,44 @@ def t2_paper_mix() -> ScenarioSpec:
 
 
 @register
+def t2_merge_stress() -> ScenarioSpec:
+    """The merging trade-off under real churn — the covering-vs-merging tier.
+
+    The ``t2-burst`` shape re-run under the merging strategy: brokers
+    shrink their advertised sets by merging within a false-volume budget,
+    so the report quantifies the related-work trade-off the paper argues
+    against — smaller routing state bought with false-positive deliveries
+    and dead-end publication traffic — on the same workload the covering
+    policies are benchmarked on.
+    """
+    return ScenarioSpec(
+        name="t2-merge-stress",
+        tier="T2",
+        description="t2-burst shape under merging: state vs false positives.",
+        workload="comparison",
+        workload_params={"m": 8, "domain_size": 10_000},
+        topology=TopologySpec(kind="random-tree", size=8),
+        clients=40,
+        policy="merging",
+        merge_budget=0.4,
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 150}),
+            PhaseSpec("burst-1", PhaseKind.PUBLISH_BURST, {"count": 300}),
+            PhaseSpec("storm", PhaseKind.UNSUBSCRIBE_STORM, {"fraction": 0.5}),
+            PhaseSpec("re-ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": 100}),
+            PhaseSpec("burst-2", PhaseKind.PUBLISH_BURST, {"count": 300}),
+            PhaseSpec(
+                "steady",
+                PhaseKind.STEADY_STATE,
+                {"ops": 300, "publish_weight": 0.7, "subscribe_weight": 0.2,
+                 "unsubscribe_weight": 0.1},
+            ),
+        ],
+        tags=("benchmark", "merging"),
+    )
+
+
+@register
 def t3_stress() -> ScenarioSpec:
     """Largest canonical tier: big overlay, sustained churn and traffic."""
     return ScenarioSpec(
@@ -248,9 +318,11 @@ CANONICAL_TIERS = (
     "t0-smoke",
     "t0-discovery",
     "t0-latency",
+    "t0-merging",
     "t1-churn",
     "t1-flashcrowd",
     "t2-burst",
     "t2-paper-mix",
+    "t2-merge-stress",
     "t3-stress",
 )

@@ -15,8 +15,11 @@ times excepted).  ``--engine-backend`` selects the matcher backend
 (``linear``/``counting``/``selectivity``) the system under test matches
 publications with; ``--latency-model`` selects the simulation kernel's
 per-link hop latency model (``zero``, ``fixed[:delay]``,
-``lognormal[:mu,sigma]``).  Both choices are folded into the spec, so
-traces record them and replays default to them.  ``--json`` emits the
+``lognormal[:mu,sigma]``); ``--policy`` selects the reduction strategy
+every broker applies (``none``/``pairwise``/``group``/``merging``/
+``hybrid``, with ``--merge-budget`` bounding the merging strategies'
+false volume).  All these choices are folded into the spec, so traces
+record them and replays default to them.  ``--json`` emits the
 machine-readable report instead.
 """
 
@@ -29,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from repro.broker.sim import parse_latency_model
+from repro.core.policies import policy_value, strategy_names
 from repro.matching.backends import BACKEND_NAMES
 from repro.scenarios import catalog  # noqa: F401 - populates the registry
 from repro.scenarios.events import compile_scenario
@@ -74,8 +78,10 @@ def _cmd_describe(arguments: argparse.Namespace) -> int:
     print(f"  workload : {spec.workload} {dict(spec.workload_params) or ''}".rstrip())
     print(f"  topology : {spec.topology.kind} ({spec.topology.broker_count} brokers)")
     print(f"  clients  : {spec.clients}")
-    print(f"  policy   : {spec.policy.value} (delta={spec.delta:g}, "
+    print(f"  policy   : {policy_value(spec.policy)} (delta={spec.delta:g}, "
           f"max_iterations={spec.max_iterations})")
+    if policy_value(spec.policy) in ("merging", "hybrid"):
+        print(f"  merge    : budget {spec.merge_budget:g}")
     print(f"  latency  : {spec.latency_model}")
     if spec.tags:
         print(f"  tags     : {', '.join(spec.tags)}")
@@ -94,6 +100,10 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         spec = dataclasses.replace(spec, engine_backend=arguments.engine_backend)
     if arguments.latency_model:
         spec = dataclasses.replace(spec, latency_model=arguments.latency_model)
+    if arguments.policy:
+        spec = dataclasses.replace(spec, policy=arguments.policy)
+    if arguments.merge_budget is not None:
+        spec = dataclasses.replace(spec, merge_budget=arguments.merge_budget)
     compiled = compile_scenario(spec, arguments.seed)
     if arguments.trace:
         digest = write_trace(arguments.trace, compiled, backend=arguments.backend)
@@ -183,6 +193,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-link hop latency model of the simulation kernel "
              "(zero, fixed[:delay], lognormal[:mu,sigma]; "
              "default: the spec's latency_model field)",
+    )
+    run.add_argument(
+        "--policy",
+        choices=strategy_names(),
+        default=None,
+        help="reduction strategy every broker applies "
+             "(default: the spec's policy field); folded into the spec so "
+             "traces record it and replays honour it",
+    )
+    run.add_argument(
+        "--merge-budget",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="false-volume budget of the merging/hybrid strategies "
+             "(default: the spec's merge_budget field)",
     )
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record the compiled event stream as a JSONL trace")

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.broker.network import BrokerNetwork
 from repro.broker.sim import parse_latency_model
+from repro.core.policies import policy_value
 from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
 from repro.matching.backends import BACKEND_NAMES
@@ -141,6 +142,7 @@ class ScenarioReport:
         ("pub msgs", "publication_messages"),
         ("notified", "notifications"),
         ("missed", "missed_notifications"),
+        ("false pos", "false_positive_notifications"),
         ("suppressed", "suppressed_subscriptions"),
         ("checks", "subsumption_checks"),
         ("rspc iters", "rspc_iterations"),
@@ -276,6 +278,7 @@ class ScenarioRunner:
             rng=network_rng,
             matcher_backend=engine_backend,
             latency_model=latency_model,
+            merge_budget=spec.merge_budget,
         )
         for client, broker in compiled.clients.items():
             network.attach_client(client, broker)
@@ -313,7 +316,7 @@ class ScenarioRunner:
             tier=spec.tier,
             seed=compiled.seed,
             backend="network",
-            policy=spec.policy.value,
+            policy=policy_value(spec.policy),
             brokers=len(network.brokers),
             clients=len(compiled.clients),
             event_count=compiled.event_count,
@@ -337,7 +340,10 @@ class ScenarioRunner:
             rng=ensure_rng(derive_streams(compiled.seed)["network"]),
         )
         engine = MatchingEngine(
-            policy=spec.policy, checker=checker, backend=engine_backend
+            policy=spec.policy,
+            checker=checker,
+            backend=engine_backend,
+            merge_budget=spec.merge_budget,
         )
 
         phases: List[PhaseReport] = []
@@ -379,7 +385,7 @@ class ScenarioRunner:
             tier=spec.tier,
             seed=compiled.seed,
             backend="engine",
-            policy=spec.policy.value,
+            policy=policy_value(spec.policy),
             brokers=0,
             clients=len(compiled.clients),
             event_count=compiled.event_count,

@@ -26,6 +26,7 @@ from repro.broker.topologies import (
     random_tree_topology,
     star_topology,
 )
+from repro.core.policies import DEFAULT_MERGE_BUDGET, policy_value, resolve_policy
 from repro.core.store import CoveringPolicyName
 from repro.matching.backends import BACKEND_NAMES
 from repro.utils.rng import RandomSource
@@ -216,7 +217,15 @@ class ScenarioSpec:
     clients:
         Number of clients attached (round-robin) to the brokers.
     policy:
-        Covering policy every broker applies.
+        Reduction strategy every broker applies (``none``, ``pairwise``,
+        ``group``, ``merging`` or ``hybrid``).  Like the matcher backend
+        it is recorded in traces; the pre-existing values serialize
+        exactly as they always did, so their trace hashes are unchanged.
+    merge_budget:
+        False-volume budget of the merging strategies.  Folded into the
+        serialized spec (and therefore the trace hash) only when
+        non-default, so specs predating the merging strategies keep their
+        hashes.
     delta:
         Error bound of the probabilistic checker (``group`` policy).
     max_iterations:
@@ -250,6 +259,7 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     clients: int = 8
     policy: CoveringPolicyName = CoveringPolicyName.GROUP
+    merge_budget: float = DEFAULT_MERGE_BUDGET
     delta: float = 1e-6
     max_iterations: int = 200
     engine_backend: str = "linear"
@@ -258,7 +268,9 @@ class ScenarioSpec:
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "policy", CoveringPolicyName(self.policy))
+        object.__setattr__(self, "policy", resolve_policy(self.policy))
+        if self.merge_budget < 0:
+            raise ValueError("merge_budget must be non-negative")
         if self.engine_backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown engine backend {self.engine_backend!r}; expected "
@@ -290,11 +302,11 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Serialize to a plain dictionary (JSON-safe).
 
-        The default ``engine_backend`` and ``latency_model`` are omitted
-        so that the serialized form — and therefore the trace hash bound
-        to it — of every spec predating those seams is unchanged; only a
-        non-default backend or latency model (which genuinely changes the
-        replay's metrics) alters the hash.
+        The default ``engine_backend``, ``latency_model`` and
+        ``merge_budget`` are omitted so that the serialized form — and
+        therefore the trace hash bound to it — of every spec predating
+        those seams is unchanged; only a non-default value (which
+        genuinely changes the replay's metrics) alters the hash.
         """
         payload: Dict[str, Any] = {
             "name": self.name,
@@ -304,7 +316,7 @@ class ScenarioSpec:
             "workload_params": dict(self.workload_params),
             "topology": self.topology.to_dict(),
             "clients": self.clients,
-            "policy": self.policy.value,
+            "policy": policy_value(self.policy),
             "delta": self.delta,
             "max_iterations": self.max_iterations,
             "phases": [phase.to_dict() for phase in self.phases],
@@ -314,6 +326,8 @@ class ScenarioSpec:
             payload["engine_backend"] = self.engine_backend
         if self.latency_model != "zero":
             payload["latency_model"] = self.latency_model
+        if self.merge_budget != DEFAULT_MERGE_BUDGET:
+            payload["merge_budget"] = self.merge_budget
         return payload
 
     @classmethod
@@ -327,7 +341,8 @@ class ScenarioSpec:
             workload_params=payload.get("workload_params", {}),
             topology=TopologySpec.from_dict(payload.get("topology", {})),
             clients=payload.get("clients", 8),
-            policy=CoveringPolicyName(payload.get("policy", "group")),
+            policy=payload.get("policy", "group"),
+            merge_budget=payload.get("merge_budget", DEFAULT_MERGE_BUDGET),
             delta=payload.get("delta", 1e-6),
             max_iterations=payload.get("max_iterations", 200),
             engine_backend=payload.get("engine_backend", "linear"),
