@@ -4,11 +4,22 @@ These do not correspond to a specific figure; they quantify the per-call
 cost of the pipeline stages on a representative instance (k = 200 hard
 non-pairwise-coverable candidates over m = 15 attributes) and the
 publication-matching throughput of the different indexes.
+
+The end-to-end subsumption check is measured twice: through the
+historical *object* path (a plain candidate list, re-stacked per call)
+and through the *arena* path (a :class:`~repro.core.arena.CandidateSet`
+snapshot, as the subscription store hands the strategies) — the latter
+is the production configuration the PR-over-PR perf trajectory tracks.
+Every measurement is also recorded to ``BENCH_5.json`` via
+:func:`conftest.record_bench`.
 """
 
 import numpy as np
 import pytest
 
+from conftest import record_bench
+
+from repro.core.arena import CandidateSet
 from repro.core.conflict_table import ConflictTable
 from repro.core.mcs import minimized_cover_set
 from repro.core.pairwise import PairwiseCoverageChecker
@@ -27,10 +38,25 @@ M = 15
 SEED = 20060331
 
 
+def _record(benchmark, op, **fields):
+    stats = benchmark.stats.stats
+    record_bench(
+        op,
+        p50_ns=round(stats.median * 1e9),
+        mean_ns=round(stats.mean * 1e9),
+        **fields,
+    )
+
+
 @pytest.fixture(scope="module")
 def instance():
     schema = Schema.uniform_integer(M, 0, 10_000)
     return redundant_covering_scenario(schema, K, SEED)
+
+
+@pytest.fixture(scope="module")
+def candidate_set(instance):
+    return CandidateSet(instance.candidates)
 
 
 @pytest.fixture(scope="module")
@@ -44,18 +70,30 @@ def test_conflict_table_construction(benchmark, instance):
         ConflictTable, instance.subscription, instance.candidates
     )
     assert table.k == K
+    _record(benchmark, "conflict_table:object", k=K, m=M)
+
+
+def test_conflict_table_construction_arena(benchmark, instance, candidate_set):
+    """Conflict-table construction from a contiguous candidate snapshot."""
+    table = benchmark(
+        ConflictTable, instance.subscription, candidate_set
+    )
+    assert table.k == K
+    _record(benchmark, "conflict_table:arena", k=K, m=M)
 
 
 def test_mcs_reduction(benchmark, conflict_table):
     """Algorithm 3: the Minimized Cover Set reduction."""
     result = benchmark(minimized_cover_set, conflict_table)
     assert result.reduced_size <= K
+    _record(benchmark, "mcs", k=K, m=M)
 
 
 def test_rho_w_estimation(benchmark, conflict_table):
     """Algorithm 2: estimating I(sw) and rho_w from the conflict table."""
     estimate = benchmark(estimate_smallest_witness, conflict_table)
     assert 0.0 <= estimate.rho_w <= 1.0
+    _record(benchmark, "rho_w", k=K, m=M)
 
 
 def test_rspc_execution(benchmark, instance, conflict_table):
@@ -74,10 +112,11 @@ def test_rspc_execution(benchmark, instance, conflict_table):
 
     result = benchmark(run)
     assert result.covered  # the instance is covered by construction
+    _record(benchmark, "rspc", k=K, m=M, max_iterations=500)
 
 
 def test_full_pipeline_check(benchmark, instance):
-    """The complete SubsumptionChecker pipeline on the covering instance."""
+    """The complete SubsumptionChecker pipeline (object-list path)."""
     checker = SubsumptionChecker(delta=1e-6, max_iterations=500, rng=SEED)
 
     def run():
@@ -85,6 +124,23 @@ def test_full_pipeline_check(benchmark, instance):
 
     result = benchmark(run)
     assert result.covered
+    _record(benchmark, "check:object", k=K, m=M, max_iterations=500)
+
+
+def test_full_pipeline_check_arena(benchmark, instance, candidate_set):
+    """The complete pipeline against an arena-backed candidate snapshot.
+
+    This is the store's production path (zero-copy conflict table, shared
+    stacked bounds) — the headline number of the perf trajectory.
+    """
+    checker = SubsumptionChecker(delta=1e-6, max_iterations=500, rng=SEED)
+
+    def run():
+        return checker.check(instance.subscription, candidate_set)
+
+    result = benchmark(run)
+    assert result.covered
+    _record(benchmark, "check:arena", k=K, m=M, max_iterations=500)
 
 
 def test_pairwise_baseline_check(benchmark, instance):
@@ -93,6 +149,16 @@ def test_pairwise_baseline_check(benchmark, instance):
         PairwiseCoverageChecker.check, instance.subscription, instance.candidates
     )
     assert not result.covered  # no single candidate covers s by construction
+    _record(benchmark, "pairwise:object", k=K, m=M)
+
+
+def test_pairwise_baseline_check_arena(benchmark, instance, candidate_set):
+    """The pair-wise scan as one vectorised pass over the snapshot."""
+    result = benchmark(
+        PairwiseCoverageChecker.check, instance.subscription, candidate_set
+    )
+    assert not result.covered
+    _record(benchmark, "pairwise:arena", k=K, m=M)
 
 
 @pytest.mark.parametrize("index_class", [CountingIndex, SelectivityIndex])
@@ -110,6 +176,12 @@ def test_matching_index_throughput(benchmark, index_class):
 
     total = benchmark(run)
     assert total >= 0
+    _record(
+        benchmark,
+        f"match_index:{index_class.__name__}",
+        subscriptions=1_000,
+        publications=100,
+    )
 
 
 def test_matching_engine_throughput(benchmark):
@@ -132,3 +204,10 @@ def test_matching_engine_throughput(benchmark):
 
     total = benchmark(run)
     assert total >= 0
+    _record(
+        benchmark,
+        "engine_match",
+        subscriptions=300,
+        publications=100,
+        backend="linear",
+    )

@@ -11,7 +11,7 @@ Set ``REPRO_PAPER=1`` to run the heavier ``t3-stress`` tier instead.
 
 import pytest
 
-from conftest import paper_scale
+from conftest import paper_scale, record_bench
 
 from repro.scenarios import ScenarioRunner, compile_scenario, get_scenario
 
@@ -36,6 +36,14 @@ def test_scenario_runner_engine_throughput(benchmark, compiled):
         iterations=1,
     )
     assert report.event_count == compiled.event_count
+    record_bench(
+        f"scenario:{compiled.spec.name}:engine",
+        events=report.event_count,
+        events_per_second=round(report.events_per_second, 1),
+        backend="engine",
+        engine_backend=report.engine_backend,
+        policy=report.policy,
+    )
     print(
         f"\n{compiled.spec.name} (engine): {report.event_count} events, "
         f"{report.events_per_second:,.0f} events/s"
@@ -52,6 +60,15 @@ def test_scenario_runner_network_throughput(benchmark, compiled):
     assert report.event_count == compiled.event_count
     # The overlay's global oracle accounts for every expected notification.
     assert report.totals["expected_notifications"] >= report.totals["notifications"]
+    record_bench(
+        f"scenario:{compiled.spec.name}:network",
+        events=report.event_count,
+        events_per_second=round(report.events_per_second, 1),
+        backend="network",
+        engine_backend=report.engine_backend,
+        policy=report.policy,
+        brokers=report.brokers,
+    )
     print(
         f"\n{compiled.spec.name} (network): {report.event_count} events, "
         f"{report.events_per_second:,.0f} events/s, "

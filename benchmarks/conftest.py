@@ -11,13 +11,64 @@ defaults; expect the full sweep to take considerably longer.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import List
+from pathlib import Path
+from typing import Any, Dict, List
 
 import pytest
 
-__all__ = ["paper_scale", "report"]
+__all__ = ["paper_scale", "report", "record_bench"]
+
+#: machine-readable benchmark results collected during the run and merged
+#: into ``BENCH_5.json`` (override the path with ``REPRO_BENCH_JSON``) at
+#: session end, so the perf trajectory is tracked across PRs instead of
+#: scrolling away in terminal output
+_BENCH_RESULTS: Dict[str, Dict[str, Any]] = {}
+
+
+def bench_json_path() -> Path:
+    """Destination of the machine-readable benchmark results."""
+    override = os.environ.get("REPRO_BENCH_JSON", "").strip()
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_5.json"
+
+
+def record_bench(op: str, **fields: Any) -> None:
+    """Record one benchmark measurement for the JSON report.
+
+    ``op`` identifies the measured operation (e.g. ``"check:arena"`` or
+    ``"scenario:t2-burst:engine"``); the fields are free-form but the
+    micro benchmarks use ``p50_ns`` and the scenario benchmarks
+    ``events_per_second``, plus the instance parameters (``k``, ``m``,
+    ``backend``, ``policy``) needed to compare runs across PRs.  Every
+    entry records the scale it was measured at, so merging a
+    ``REPRO_PAPER=1`` run into an existing small-scale baseline cannot
+    mislabel individual numbers.
+    """
+    _BENCH_RESULTS[op] = {"op": op, "paper_scale": paper_scale(), **fields}
+
+
+def _flush_bench_results() -> None:
+    if not _BENCH_RESULTS:
+        return
+    path = bench_json_path()
+    existing: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    results = existing.get("results", {})
+    results.update(_BENCH_RESULTS)
+    payload = {
+        "schema": 1,
+        "paper_scale": paper_scale(),
+        "results": dict(sorted(results.items())),
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
 #: rendered experiment tables collected during the run, emitted in the
 #: terminal summary (which pytest never captures) so that
@@ -40,8 +91,17 @@ def report(*tables) -> None:
         _COLLECTED_TABLES.append(rendered)
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Merge the recorded measurements into the JSON benchmark report."""
+    _flush_bench_results()
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Emit every reproduced figure after the benchmark summary."""
+    if _BENCH_RESULTS:
+        terminalreporter.write_line(
+            f"benchmark results recorded to {bench_json_path()}"
+        )
     if not _COLLECTED_TABLES:
         return
     terminalreporter.ensure_newline()

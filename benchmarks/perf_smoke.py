@@ -1,0 +1,127 @@
+"""Perf-smoke check for CI: a tiny arena-pipeline benchmark with a
+generous regression threshold.
+
+Measures, on the same representative instance as ``bench_micro_core.py``
+(k = 200, m = 15, 500 capped RSPC guesses), the p50 of the end-to-end
+``SubsumptionChecker.check`` through the arena path, plus the events/sec
+of the ``t2-burst`` scenario on the engine backend, and compares both
+against the committed ``BENCH_5.json``.  The threshold is deliberately
+loose (default 5x) — CI runners are slow and noisy; the step exists to
+catch order-of-magnitude regressions (an accidentally de-vectorised
+stage, a quadratic rebuild), not percent-level drift.
+
+Usage::
+
+    python benchmarks/perf_smoke.py [--baseline BENCH_5.json]
+                                    [--factor 5.0] [--output smoke.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def _measure_check_p50_ns(repeats: int = 40) -> float:
+    from repro.core.arena import CandidateSet
+    from repro.core.subsumption import SubsumptionChecker
+    from repro.model import Schema
+    from repro.workloads.scenarios import redundant_covering_scenario
+
+    schema = Schema.uniform_integer(15, 0, 10_000)
+    instance = redundant_covering_scenario(schema, 200, 20060331)
+    checker = SubsumptionChecker(delta=1e-6, max_iterations=500, rng=20060331)
+    snapshot = CandidateSet(instance.candidates)
+    for _ in range(5):  # warm-up
+        checker.check(instance.subscription, snapshot)
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        checker.check(instance.subscription, snapshot)
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2] * 1e9
+
+
+def _measure_scenario_eps(rounds: int = 2) -> float:
+    from repro.scenarios import ScenarioRunner, compile_scenario, get_scenario
+
+    compiled = compile_scenario(get_scenario("t2-burst"), seed=20060331)
+    best = 0.0
+    for _ in range(rounds):
+        report = ScenarioRunner(backend="engine").run(compiled)
+        best = max(best, report.events_per_second)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_5.json"),
+        help="committed benchmark results to compare against",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=5.0,
+        help="maximum tolerated slow-down vs the baseline (>= 5x recommended)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="optional path for the measured numbers"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())["results"]
+    for op in ("check:arena", "scenario:t2-burst:engine"):
+        if baseline.get(op, {}).get("paper_scale"):
+            print(
+                f"perf-smoke: baseline entry {op!r} was recorded at paper "
+                "scale; refusing to compare against a small-scale run",
+                file=sys.stderr,
+            )
+            return 1
+    check_p50_ns = _measure_check_p50_ns()
+    scenario_eps = _measure_scenario_eps()
+
+    measured = {
+        "check:arena": {"p50_ns": round(check_p50_ns)},
+        "scenario:t2-burst:engine": {
+            "events_per_second": round(scenario_eps, 1)
+        },
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(measured, indent=1) + "\n")
+
+    failures = []
+    base_check = baseline["check:arena"]["p50_ns"]
+    if check_p50_ns > base_check * args.factor:
+        failures.append(
+            f"check:arena p50 {check_p50_ns:,.0f} ns vs baseline "
+            f"{base_check:,} ns (allowed {args.factor}x)"
+        )
+    base_eps = baseline["scenario:t2-burst:engine"]["events_per_second"]
+    if scenario_eps < base_eps / args.factor:
+        failures.append(
+            f"t2-burst engine {scenario_eps:,.1f} events/s vs baseline "
+            f"{base_eps:,} events/s (allowed {args.factor}x slow-down)"
+        )
+
+    print(
+        f"perf-smoke: check:arena p50 {check_p50_ns:,.0f} ns "
+        f"(baseline {base_check:,} ns), t2-burst engine "
+        f"{scenario_eps:,.1f} events/s (baseline {base_eps:,} events/s)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf-smoke: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from repro.broker.messages import (
     UnsubscriptionMessage,
 )
 from repro.broker.routing import RouteEntry, RoutingTable, SourceKind
+from repro.core.arena import CandidateSet
 from repro.core.merging import cheapest_merge
 from repro.core.policies import (
     DEFAULT_MERGE_BUDGET,
@@ -149,6 +150,9 @@ class Broker:
         self.local_subscribers: Set[str] = set()
         #: per-neighbour record of the subscriptions forwarded to it
         self.sent: Dict[str, Dict[str, "object"]] = {}
+        #: per-neighbour candidate-set snapshot (contiguous bounds shared
+        #: by consecutive covering decisions against an unchanged link)
+        self._link_candidates: Dict[str, CandidateSet] = {}
         #: per-neighbour record of the subscriptions *withheld* from it:
         #: neighbour -> suppressed subscription id -> identifiers of the
         #: forwarded subscriptions whose coverage justified the suppression
@@ -211,6 +215,32 @@ class Broker:
     # ------------------------------------------------------------------
     # Covering decision
     # ------------------------------------------------------------------
+    def _candidates_for(self, neighbor: str) -> CandidateSet:
+        """Snapshot of the advertisements already sent to ``neighbor``.
+
+        The snapshot (candidate order, stacked bounds, cache
+        fingerprint) is reused as long as the link's advertisement set is
+        unchanged — one cheap id-tuple comparison per decision replaces
+        re-stacking the candidate bounds, and lets the checker's verdict
+        cache recognise repeated instances during re-advertisement
+        storms.  Any membership change yields a fresh snapshot (and a
+        fresh fingerprint, invalidating cached verdicts).
+        """
+        sent_here = self.sent.get(neighbor)
+        if not sent_here:
+            cached = self._link_candidates.get(neighbor)
+            if cached is not None and not len(cached):
+                return cached
+            snapshot = CandidateSet(())
+        else:
+            ids = tuple(sent_here)
+            cached = self._link_candidates.get(neighbor)
+            if cached is not None and cached.ids == ids:
+                return cached
+            snapshot = CandidateSet(list(sent_here.values()))
+        self._link_candidates[neighbor] = snapshot
+        return snapshot
+
     def _coverage_decision(
         self, subscription, neighbor: str
     ) -> SubscriptionDecision:
@@ -221,8 +251,9 @@ class Broker:
         a merged bounding box) comes from the broker's pluggable
         reduction strategy.
         """
-        candidates = list(self.sent.get(neighbor, {}).values())
-        decision = self.strategy.decide(subscription, candidates)
+        decision = self.strategy.decide(
+            subscription, self._candidates_for(neighbor)
+        )
         return SubscriptionDecision(
             broker=self.id,
             subscription_id=subscription.id,

@@ -19,6 +19,7 @@
   ground truth in tests and false-negative accounting.
 """
 
+from repro.core.arena import CandidateSet, SubscriptionArena, as_candidate_set
 from repro.core.conflict_table import ConflictTable, EntryRef, EntrySide
 from repro.core.decisions import (
     FastDecision,
@@ -66,6 +67,7 @@ from repro.core.witness import (
 
 __all__ = [
     "Answer",
+    "CandidateSet",
     "ConflictTable",
     "CoveringPolicyName",
     "DecisionMethod",
@@ -88,8 +90,10 @@ __all__ = [
     "make_strategy",
     "register_strategy",
     "strategy_names",
+    "SubscriptionArena",
     "SubscriptionStore",
     "SubsumptionChecker",
+    "as_candidate_set",
     "SubsumptionResult",
     "WitnessEstimate",
     "chain_delivery_probability",

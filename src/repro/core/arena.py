@@ -1,0 +1,333 @@
+"""Contiguous subscription-bounds storage — the subsumption arena.
+
+The probabilistic pipeline (conflict table, MCS, ``rho_w`` estimation,
+RSPC) is pure bounds arithmetic: every stage consumes the candidates'
+``(k, m)`` lower/upper bound matrices, never the subscription objects
+themselves.  Historically each :meth:`SubsumptionChecker.check` call
+re-materialised those matrices with ``np.vstack`` over a Python list —
+an O(m·k) Python-loop cost paid per check, thousands of times per
+scenario over largely overlapping candidate sets.
+
+This module keeps the bounds resident instead:
+
+* :class:`SubscriptionArena` — an incrementally maintained pair of
+  ``(capacity, m)`` float64 arrays (lows/highs) with an id→row map and a
+  free-list, owned by :class:`~repro.core.store.SubscriptionStore` (and
+  exposed through :class:`~repro.matching.engine.MatchingEngine`).
+  Adding or removing a subscription touches one row; a candidate set
+  becomes a row-index gather instead of an object loop.
+* :class:`CandidateSet` — an immutable snapshot of one candidate set:
+  a ``Sequence[Subscription]`` (so every existing strategy/checker API
+  keeps working) that also carries the stacked bounds.  Arena-backed
+  snapshots gather their rows in a single vectorised fancy-index; plain
+  snapshots (e.g. a broker link's advertisement set) stack lazily, once,
+  instead of on every decision.  Each snapshot carries a process-unique
+  ``fingerprint`` token, which is what the checker's verdict cache keys
+  on: any add/remove invalidates the snapshot, forcing a new fingerprint
+  and therefore a cache miss — stale verdicts can never be served.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.errors import ValidationError
+from repro.model.subscriptions import Subscription
+
+__all__ = ["SubscriptionArena", "CandidateSet", "as_candidate_set"]
+
+#: process-unique tokens for candidate-set snapshots; never reused, so a
+#: verdict cached against a dead snapshot can never collide with a new one
+_fingerprints = itertools.count(1)
+
+
+class CandidateSet(Sequence):
+    """Immutable snapshot of a candidate set with contiguous bounds.
+
+    Behaves as a ``Sequence[Subscription]`` (iteration, indexing,
+    ``len``) so it is a drop-in replacement for the candidate lists the
+    reduction strategies and checkers historically received, while
+    exposing the stacked ``(k, m)`` bounds the vectorised pipeline
+    stages consume directly.
+
+    Parameters
+    ----------
+    subscriptions:
+        The candidate subscriptions, in decision order.
+    lows, highs:
+        Pre-gathered bounds (e.g. an arena row gather).  When omitted
+        they are stacked lazily on first access — once per snapshot, not
+        once per check.
+    """
+
+    __slots__ = ("subscriptions", "schema", "fingerprint", "_lows", "_highs", "_ids")
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        lows: Optional[np.ndarray] = None,
+        highs: Optional[np.ndarray] = None,
+    ):
+        self.subscriptions: Tuple[Subscription, ...] = tuple(subscriptions)
+        if self.subscriptions:
+            schema = self.subscriptions[0].schema
+            # Identity-first scan: same-object schemas (the overwhelmingly
+            # common case) cost one `is` each; genuinely different schemas
+            # are rejected here so the zero-copy consumers downstream can
+            # trust the snapshot without re-validating per candidate.
+            for candidate in self.subscriptions:
+                if candidate.schema is not schema and candidate.schema != schema:
+                    raise ValidationError(
+                        "candidate set requires all subscriptions to share a schema"
+                    )
+        else:
+            schema = None
+        self.schema = schema
+        self.fingerprint = next(_fingerprints)
+        self._lows = lows
+        self._highs = highs
+        self._ids: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Vectorised containment
+    # ------------------------------------------------------------------
+    def _check_same_schema(self, subscription: Subscription) -> None:
+        """Schema validation mirroring ``Subscription.covers`` (identity first)."""
+        if (
+            self.schema is not None
+            and subscription.schema is not self.schema
+            and subscription.schema != self.schema
+        ):
+            raise ValidationError(
+                "subscriptions belong to different schemas "
+                f"({subscription.schema.name!r} vs {self.schema.name!r})"
+            )
+
+    def covered_rows_mask(self, subscription: Subscription) -> np.ndarray:
+        """Boolean mask of candidates pair-wise covered *by* ``subscription``.
+
+        One broadcast containment test — the vectorised form of
+        ``subscription.covers(candidate)`` per row (including its schema
+        validation); shared by the store's demotion pass and anything
+        else that asks "whom does the newcomer dominate?".
+        """
+        self._check_same_schema(subscription)
+        return np.all(
+            (subscription.lows <= self.lows) & (self.highs <= subscription.highs),
+            axis=1,
+        )
+
+    def covering_rows_mask(self, subscription: Subscription) -> np.ndarray:
+        """Boolean mask of candidates that pair-wise cover ``subscription``.
+
+        The vectorised form of ``candidate.covers(subscription)`` per row
+        (the classical covering test of the pair-wise strategies),
+        including its schema validation.
+        """
+        self._check_same_schema(subscription)
+        return np.all(
+            (self.lows <= subscription.lows) & (subscription.highs <= self.highs),
+            axis=1,
+        )
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def _stack(self) -> None:
+        if self.subscriptions:
+            self._lows = np.vstack([s.lows for s in self.subscriptions])
+            self._highs = np.vstack([s.highs for s in self.subscriptions])
+        else:
+            m = 0 if self.schema is None else self.schema.m
+            self._lows = np.empty((0, m), dtype=float)
+            self._highs = np.empty((0, m), dtype=float)
+
+    @property
+    def lows(self) -> np.ndarray:
+        """Stacked per-candidate lower bounds, shape ``(k, m)``."""
+        if self._lows is None:
+            self._stack()
+        return self._lows
+
+    @property
+    def highs(self) -> np.ndarray:
+        """Stacked per-candidate upper bounds, shape ``(k, m)``."""
+        if self._highs is None:
+            self._stack()
+        return self._highs
+
+    @property
+    def ids(self) -> Tuple[str, ...]:
+        """Candidate identifiers, in decision order."""
+        if self._ids is None:
+            self._ids = tuple(s.id for s in self.subscriptions)
+        return self._ids
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.subscriptions)
+
+    def __getitem__(self, index):
+        return self.subscriptions[index]
+
+    def __iter__(self) -> Iterator[Subscription]:
+        return iter(self.subscriptions)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CandidateSet(k={len(self.subscriptions)}, fp={self.fingerprint})"
+
+
+def as_candidate_set(candidates: Sequence[Subscription]) -> CandidateSet:
+    """Wrap ``candidates`` in a :class:`CandidateSet` (no-op when it is one)."""
+    if isinstance(candidates, CandidateSet):
+        return candidates
+    return CandidateSet(candidates)
+
+
+class SubscriptionArena:
+    """Incrementally maintained contiguous bounds arrays.
+
+    Rows are allocated on :meth:`add`, recycled through a free-list on
+    :meth:`remove`, and the backing arrays double in capacity when full
+    (amortised O(1) per insertion).  ``version`` increases on every
+    mutation; snapshots taken through :meth:`select` copy the selected
+    rows out, so they stay valid — and immutable — across later arena
+    mutations.
+    """
+
+    def __init__(self, m: Optional[int] = None, capacity: int = 32):
+        self._m = m
+        self._capacity = max(int(capacity), 1)
+        self._lows: Optional[np.ndarray] = None
+        self._highs: Optional[np.ndarray] = None
+        if m is not None:
+            self._allocate(m)
+        self._row_of: dict = {}
+        self._free: List[int] = []
+        self._next_row = 0
+        self._version = 0
+
+    def _allocate(self, m: int) -> None:
+        self._m = int(m)
+        self._lows = np.empty((self._capacity, self._m), dtype=float)
+        self._highs = np.empty((self._capacity, self._m), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> Optional[int]:
+        """Number of attributes per row (``None`` until the first add)."""
+        return self._m
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every add/remove)."""
+        return self._version
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated number of rows."""
+        return self._capacity if self._lows is not None else 0
+
+    @property
+    def lows(self) -> Optional[np.ndarray]:
+        """The backing lower-bound array (``(capacity, m)``; live rows only are meaningful)."""
+        return self._lows
+
+    @property
+    def highs(self) -> Optional[np.ndarray]:
+        """The backing upper-bound array."""
+        return self._highs
+
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return subscription_id in self._row_of
+
+    def row_of(self, subscription_id: str) -> int:
+        """Arena row currently holding ``subscription_id``."""
+        return self._row_of[subscription_id]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> int:
+        """Copy a subscription's bounds into the arena; returns its row."""
+        if self._lows is None:
+            self._allocate(subscription.m)
+        elif subscription.m != self._m:
+            raise ValidationError(
+                f"arena holds {self._m}-attribute rows; got {subscription.m}"
+            )
+        if subscription.id in self._row_of:
+            raise ValidationError(
+                f"subscription {subscription.id!r} is already in the arena"
+            )
+        if self._free:
+            row = self._free.pop()
+        else:
+            if self._next_row == self._capacity:
+                self._grow()
+            row = self._next_row
+            self._next_row += 1
+        self._lows[row] = subscription.lows
+        self._highs[row] = subscription.highs
+        self._row_of[subscription.id] = row
+        self._version += 1
+        return row
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        lows = np.empty((new_capacity, self._m), dtype=float)
+        highs = np.empty((new_capacity, self._m), dtype=float)
+        lows[: self._capacity] = self._lows
+        highs[: self._capacity] = self._highs
+        self._lows = lows
+        self._highs = highs
+        self._capacity = new_capacity
+
+    def remove(self, subscription_id: str) -> int:
+        """Release the row of ``subscription_id`` back to the free-list."""
+        row = self._row_of.pop(subscription_id)
+        self._free.append(row)
+        self._version += 1
+        return row
+
+    def discard(self, subscription_id: str) -> Optional[int]:
+        """Like :meth:`remove`, but a no-op for unknown identifiers."""
+        if subscription_id not in self._row_of:
+            return None
+        return self.remove(subscription_id)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def select(self, subscriptions: Sequence[Subscription]) -> CandidateSet:
+        """Snapshot a candidate set in one vectorised row gather.
+
+        The subscriptions must all be resident in the arena; their order
+        defines the snapshot's candidate order (and therefore the row
+        indices of verdicts computed against it).
+        """
+        subscriptions = tuple(subscriptions)
+        if not subscriptions or self._lows is None:
+            return CandidateSet(subscriptions)
+        rows = np.fromiter(
+            (self._row_of[s.id] for s in subscriptions),
+            dtype=np.intp,
+            count=len(subscriptions),
+        )
+        return CandidateSet(subscriptions, self._lows[rows], self._highs[rows])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SubscriptionArena(n={len(self._row_of)}, m={self._m}, "
+            f"capacity={self.capacity}, version={self._version})"
+        )

@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.arena import CandidateSet
 from repro.model.errors import ValidationError
 from repro.model.intervals import Interval
 from repro.model.subscriptions import Subscription
@@ -78,26 +79,47 @@ class ConflictTable:
         self,
         subscription: Subscription,
         candidates: Sequence[Subscription],
+        *,
+        cand_lows: Optional[np.ndarray] = None,
+        cand_highs: Optional[np.ndarray] = None,
     ):
         self.subscription = subscription
-        self.candidates: Tuple[Subscription, ...] = tuple(candidates)
-        for candidate in self.candidates:
-            if candidate.schema != subscription.schema:
+        schema = subscription.schema
+        if isinstance(candidates, CandidateSet):
+            # Arena-backed (or snapshotted) candidates: bounds are already
+            # stacked contiguously and the schema was fixed at snapshot
+            # time — one identity-first check replaces the per-candidate
+            # validation loop.
+            self.candidates = candidates.subscriptions
+            if candidates.schema is not None and (
+                candidates.schema is not schema and candidates.schema != schema
+            ):
                 raise ValidationError(
                     "conflict table requires all subscriptions to share a schema"
                 )
-        self.schema = subscription.schema
+            if cand_lows is None and len(self.candidates):
+                cand_lows = candidates.lows
+                cand_highs = candidates.highs
+        else:
+            self.candidates = tuple(candidates)
+            for candidate in self.candidates:
+                if candidate.schema is not schema and candidate.schema != schema:
+                    raise ValidationError(
+                        "conflict table requires all subscriptions to share a schema"
+                    )
+        self.schema = schema
         self.m = subscription.m
         self.k = len(self.candidates)
 
         s_lows = subscription.lows
         s_highs = subscription.highs
-        if self.k:
-            cand_lows = np.vstack([c.lows for c in self.candidates])
-            cand_highs = np.vstack([c.highs for c in self.candidates])
-        else:
-            cand_lows = np.empty((0, self.m), dtype=float)
-            cand_highs = np.empty((0, self.m), dtype=float)
+        if cand_lows is None:
+            if self.k:
+                cand_lows = np.vstack([c.lows for c in self.candidates])
+                cand_highs = np.vstack([c.highs for c in self.candidates])
+            else:
+                cand_lows = np.empty((0, self.m), dtype=float)
+                cand_highs = np.empty((0, self.m), dtype=float)
 
         #: per-candidate lower bounds, shape ``(k, m)``
         self.candidate_lows = cand_lows
@@ -116,9 +138,13 @@ class ConflictTable:
             self.defined_low.sum(axis=1) + self.defined_high.sum(axis=1)
         ).astype(int)
 
-        self._discrete = np.array(
-            [domain.is_discrete for domain in self.schema.domains], dtype=bool
-        )
+        self._vectors = getattr(schema, "vectors", None)
+        if self._vectors is not None:
+            self._discrete = self._vectors.discrete
+        else:
+            self._discrete = np.array(
+                [domain.is_discrete for domain in self.schema.domains], dtype=bool
+            )
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -246,9 +272,115 @@ class ConflictTable:
         entry of any other row (Proposition 3).  ``rows`` restricts the
         computation to a subset of rows (used by MCS after removals); the
         returned array is indexed positionally by that subset.
+
+        A LOW entry (negation ``x < A``) conflicts with a HIGH entry
+        (negation ``x > B``) of another row iff ``s`` has no point strictly
+        between ``B`` and ``A``.  The condition is monotone in ``B`` (larger
+        ``B`` => more likely conflict), so per attribute only the largest
+        *other-row* ``B`` matters — and symmetrically only the smallest
+        other-row ``A`` for HIGH entries.  The whole pass is a handful of
+        max/second-max reductions over the table's bound matrices.
         """
-        active = np.array(
-            list(range(self.k)) if rows is None else list(rows), dtype=int
+        active = (
+            np.arange(self.k, dtype=int)
+            if rows is None
+            else np.asarray(rows, dtype=int)
+        )
+        n = len(active)
+        if n == 0:
+            return np.zeros(0, dtype=int)
+
+        s_low = self.subscription.lows
+        s_high = self.subscription.highs
+        d_low = self.defined_low[active]
+        d_high = self.defined_high[active]
+        cl = self.candidate_lows[active]
+        ch = self.candidate_highs[active]
+        discrete = self._discrete
+
+        all_discrete = bool(discrete.all())
+        all_continuous = not all_discrete and not discrete.any()
+
+        with np.errstate(invalid="ignore"):
+            # Per attribute: the extreme defined HIGH bound (and the runner-
+            # up, for excluding an entry's own row) — ``±inf`` marks "no
+            # defined entry of that side on this attribute".
+            high_bounds = np.where(d_high, ch, -np.inf)
+            high_arg = high_bounds.argmax(axis=0)
+            col_index = np.arange(self.m)
+            high_max = high_bounds[high_arg, col_index]
+            high_bounds[high_arg, col_index] = -np.inf
+            high_second = high_bounds.max(axis=0)
+
+            low_bounds = np.where(d_low, cl, np.inf)
+            low_arg = low_bounds.argmin(axis=0)
+            low_min = low_bounds[low_arg, col_index]
+            low_bounds[low_arg, col_index] = np.inf
+            low_second = low_bounds.min(axis=0)
+
+            rows_index = np.arange(n)[:, np.newaxis]
+
+            # LOW entries against the largest other-row HIGH bound.
+            other_b = np.where(
+                rows_index == high_arg[np.newaxis, :], high_second, high_max
+            )
+            has_other = np.isfinite(other_b)
+            if not all_continuous:
+                highest_d = np.floor(np.minimum(cl - 1.0, s_high))
+                lowest_d = np.ceil(np.maximum(other_b + 1.0, s_low))
+                conflict_d = highest_d < lowest_d
+            if not all_discrete:
+                highest_c = np.minimum(cl, s_high)
+                lowest_c = np.maximum(other_b, s_low)
+                conflict_c = ~(highest_c > lowest_c)
+            if all_discrete:
+                low_conflict = has_other & conflict_d
+            elif all_continuous:
+                low_conflict = has_other & conflict_c
+            else:
+                low_conflict = has_other & np.where(
+                    discrete, conflict_d, conflict_c
+                )
+
+            # HIGH entries against the smallest other-row LOW bound.
+            other_a = np.where(
+                rows_index == low_arg[np.newaxis, :], low_second, low_min
+            )
+            has_other = np.isfinite(other_a)
+            if not all_continuous:
+                highest_d = np.floor(np.minimum(other_a - 1.0, s_high))
+                lowest_d = np.ceil(np.maximum(ch + 1.0, s_low))
+                conflict_d = highest_d < lowest_d
+            if not all_discrete:
+                highest_c = np.minimum(other_a, s_high)
+                lowest_c = np.maximum(ch, s_low)
+                conflict_c = ~(highest_c > lowest_c)
+            if all_discrete:
+                high_conflict = has_other & conflict_d
+            elif all_continuous:
+                high_conflict = has_other & conflict_c
+            else:
+                high_conflict = has_other & np.where(
+                    discrete, conflict_d, conflict_c
+                )
+
+        counts = (d_low & ~low_conflict).sum(axis=1) + (
+            d_high & ~high_conflict
+        ).sum(axis=1)
+        return counts.astype(int)
+
+    def _conflict_free_counts_scalar(
+        self, rows: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Per-attribute reference implementation of ``fc_i`` (Definition 5).
+
+        Kept as the differential oracle for the matrix implementation
+        above; both must agree exactly on every instance.
+        """
+        active = (
+            np.arange(self.k, dtype=int)
+            if rows is None
+            else np.asarray(rows, dtype=int)
         )
         n = len(active)
         counts = np.zeros(n, dtype=int)
@@ -356,7 +488,117 @@ class ConflictTable:
         minimum together with the full extent of ``s`` on that attribute.
         The product over attributes approximates ``I(sw)``, the size of the
         smallest polyhedron witness.
+
+        For schemas built from the four built-in domain types the whole
+        computation is a handful of array expressions over the table's
+        bound matrices (bit-identical to the per-entry domain calls);
+        schemas with custom domains take the per-object fallback.
         """
+        if self._vectors is not None and self._vectors.vectorisable:
+            return self._minimum_gap_measures_vectorised(rows)
+        return self._minimum_gap_measures_scalar(rows)
+
+    def _minimum_gap_measures_vectorised(
+        self, rows: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Array implementation of Algorithm 2's per-attribute minima.
+
+        Replicates, per cell, exactly what ``entry_region`` +
+        ``domain.measure`` + ``domain.gap_measure(1e-12)`` compute for
+        the built-in domains: on discrete axes the snapped point count
+        ``floor(high) - ceil(low) + 1`` of the uncovered slice, on
+        continuous axes its length floored by the domain resolution.
+        """
+        if rows is None:
+            active = slice(None)
+        else:
+            active = np.asarray(rows, dtype=int)
+        cl = self.candidate_lows[active]
+        ch = self.candidate_highs[active]
+        d_low = self.defined_low[active]
+        d_high = self.defined_high[active]
+        s_low = self.subscription.lows
+        s_high = self.subscription.highs
+        discrete = self._discrete
+        resolution = self._vectors.resolution
+
+        all_discrete = bool(discrete.all())
+        all_continuous = not all_discrete and not discrete.any()
+
+        with np.errstate(invalid="ignore"):
+            lo_ceil = np.ceil(s_low)
+            hi_floor = np.floor(s_high)
+
+            # LOW entries: the slice of ``s`` strictly below the candidate's
+            # lower bound (one tick removed on discrete axes).
+            if not all_continuous:
+                low_disc = np.maximum(
+                    np.maximum(
+                        np.floor(np.minimum(s_high, cl - 1.0)) - lo_ceil + 1.0,
+                        0.0,
+                    ),
+                    1e-12,
+                )
+            if not all_discrete:
+                low_cont = np.maximum(
+                    np.minimum(s_high, cl) - s_low, resolution
+                )
+            if all_discrete:
+                low_vals = low_disc
+            elif all_continuous:
+                low_vals = low_cont
+            else:
+                low_vals = np.where(discrete, low_disc, low_cont)
+
+            # HIGH entries: the slice strictly above the upper bound.
+            if not all_continuous:
+                high_disc = np.maximum(
+                    np.maximum(
+                        hi_floor - np.ceil(np.maximum(s_low, ch + 1.0)) + 1.0,
+                        0.0,
+                    ),
+                    1e-12,
+                )
+            if not all_discrete:
+                high_cont = np.maximum(
+                    s_high - np.maximum(s_low, ch), resolution
+                )
+            if all_discrete:
+                high_vals = high_disc
+            elif all_continuous:
+                high_vals = high_cont
+            else:
+                high_vals = np.where(discrete, high_disc, high_cont)
+
+            # Undefined entries contribute nothing to the minima.
+            low_vals = np.where(d_low, low_vals, np.inf)
+            high_vals = np.where(d_high, high_vals, np.inf)
+
+            # Initial value: the full extent of ``s`` on each attribute.
+            if all_discrete:
+                initial = hi_floor - lo_ceil + 1.0
+            elif all_continuous:
+                initial = np.maximum(s_high - s_low, resolution)
+            else:
+                initial = np.where(
+                    discrete,
+                    hi_floor - lo_ceil + 1.0,
+                    np.maximum(s_high - s_low, resolution),
+                )
+
+        gaps = np.minimum(
+            initial,
+            np.minimum(
+                low_vals.min(axis=0, initial=np.inf),
+                high_vals.min(axis=0, initial=np.inf),
+            ),
+        )
+        return gaps
+
+    def _minimum_gap_measures_scalar(
+        self, rows: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Per-object reference implementation (and custom-domain fallback)."""
         active = list(range(self.k)) if rows is None else list(rows)
         gaps = np.empty(self.m, dtype=float)
         for attribute in range(self.m):
@@ -381,9 +623,17 @@ class ConflictTable:
     # Restriction (used by MCS)
     # ------------------------------------------------------------------
     def restrict(self, rows: Sequence[int]) -> "ConflictTable":
-        """Return a new conflict table containing only ``rows``."""
+        """Return a new conflict table containing only ``rows``.
+
+        The restricted table slices this table's bound matrices instead
+        of re-stacking the candidate objects.
+        """
+        index = np.asarray(rows, dtype=int)
         return ConflictTable(
-            self.subscription, [self.candidates[row] for row in rows]
+            self.subscription,
+            tuple(self.candidates[row] for row in rows),
+            cand_lows=self.candidate_lows[index],
+            cand_highs=self.candidate_highs[index],
         )
 
     # ------------------------------------------------------------------

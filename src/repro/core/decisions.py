@@ -68,13 +68,15 @@ def detect_pairwise_cover(table: ConflictTable) -> Optional[FastDecision]:
     Such a row's candidate covers ``s`` by itself, so the group question is
     answered with a definite YES in ``O(k)`` once the table is built.
     """
-    for row in range(table.k):
-        if table.row_all_undefined(row):
-            return FastDecision(
-                kind=FastDecisionKind.PAIRWISE_COVER,
-                covered=True,
-                covering_row=row,
-            )
+    if table.k == 0:
+        return None
+    empty_rows = np.nonzero(table.row_defined_counts == 0)[0]
+    if empty_rows.size:
+        return FastDecision(
+            kind=FastDecisionKind.PAIRWISE_COVER,
+            covered=True,
+            covering_row=int(empty_rows[0]),
+        )
     return None
 
 

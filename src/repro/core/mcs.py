@@ -77,28 +77,23 @@ def minimized_cover_set(table: ConflictTable) -> MCSResult:
     the evaluation (how many candidates were removed and in how many
     passes).  The input table is not modified.
     """
-    active: List[int] = list(range(table.k))
+    active = np.arange(table.k, dtype=int)
     removed: List[int] = []
     passes = 0
+    t_all = table.row_defined_counts
 
     while True:
         passes += 1
-        if not active:
+        if active.size == 0:
             break
-        k_current = len(active)
         conflict_free = table.conflict_free_counts(active)
-        to_remove = []
-        for position, row in enumerate(active):
-            t_i = table.t(row)
-            if conflict_free[position] >= 1 or t_i >= k_current:
-                to_remove.append(row)
-        if not to_remove:
+        drop = (conflict_free >= 1) | (t_all[active] >= active.size)
+        if not drop.any():
             break
-        removed.extend(to_remove)
-        removal_set = set(to_remove)
-        active = [row for row in active if row not in removal_set]
+        removed.extend(active[drop].tolist())
+        active = active[~drop]
 
-    kept_rows = tuple(active)
+    kept_rows = tuple(int(row) for row in active)
     return MCSResult(
         kept_rows=kept_rows,
         removed_rows=tuple(removed),

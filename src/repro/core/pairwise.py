@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.arena import CandidateSet
 from repro.model.subscriptions import Subscription
 
 __all__ = ["PairwiseResult", "PairwiseCoverageChecker"]
@@ -62,7 +65,18 @@ class PairwiseCoverageChecker:
     def check(
         subscription: Subscription, candidates: Sequence[Subscription]
     ) -> PairwiseResult:
-        """Check whether any single candidate covers ``subscription``."""
+        """Check whether any single candidate covers ``subscription``.
+
+        Candidate-set snapshots are tested in one vectorised pass over
+        their stacked bounds; the comparison accounting mirrors the
+        scan's early exit (first coverer found stops the scan).
+        """
+        if isinstance(candidates, CandidateSet) and len(candidates):
+            hits = np.nonzero(candidates.covering_rows_mask(subscription))[0]
+            if hits.size:
+                first = int(hits[0])
+                return PairwiseResult(True, candidates[first], first + 1)
+            return PairwiseResult(False, None, len(candidates))
         comparisons = 0
         for candidate in candidates:
             comparisons += 1

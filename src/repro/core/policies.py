@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.arena import as_candidate_set
 from repro.core.merging import cheapest_merge
 from repro.core.pairwise import PairwiseCoverageChecker
 from repro.core.results import SubsumptionResult
@@ -182,6 +183,22 @@ class ReductionStrategy:
         """Decide the fate of ``subscription`` against ``candidates``."""
         raise NotImplementedError
 
+    def decide_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[ReductionDecision]:
+        """Decide many subscriptions against one shared candidate set.
+
+        The candidate bounds are snapshotted once (arena gather or a
+        single stack) and shared by every decision; results are in input
+        order and identical to sequential :meth:`decide` calls.  Only
+        valid when the decisions do not feed back into the candidate set
+        (callers that apply forwarded decisions must re-snapshot).
+        """
+        shared = as_candidate_set(candidates)
+        return [self.decide(subscription, shared) for subscription in subscriptions]
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
 
@@ -251,7 +268,8 @@ class GroupStrategy(ReductionStrategy):
         subscription: Subscription,
         candidates: Sequence[Subscription],
     ) -> ReductionDecision:
-        candidates = list(candidates)
+        if not hasattr(candidates, "__len__"):
+            candidates = list(candidates)  # tolerate iterator inputs
         result = self.checker.check(subscription, candidates)
         if not result.covered:
             return ReductionDecision(
@@ -313,7 +331,8 @@ class MergingStrategy(ReductionStrategy):
         subscription: Subscription,
         candidates: Sequence[Subscription],
     ) -> ReductionDecision:
-        candidates = list(candidates)
+        if not hasattr(candidates, "__len__"):
+            candidates = list(candidates)  # tolerate iterator inputs
         check = PairwiseCoverageChecker.check(subscription, candidates)
         if check.covered:
             return ReductionDecision(
@@ -327,7 +346,7 @@ class MergingStrategy(ReductionStrategy):
     def _merge_or_forward(
         self,
         subscription: Subscription,
-        candidates: List[Subscription],
+        candidates: Sequence[Subscription],
     ) -> ReductionDecision:
         """Find the cheapest in-budget merge partner, else forward."""
         found = cheapest_merge(subscription, candidates, self.merge_budget)
@@ -376,7 +395,8 @@ class HybridStrategy(MergingStrategy):
         subscription: Subscription,
         candidates: Sequence[Subscription],
     ) -> ReductionDecision:
-        candidates = list(candidates)
+        if not hasattr(candidates, "__len__"):
+            candidates = list(candidates)  # tolerate iterator inputs
         result = self.checker.check(subscription, candidates)
         if result.covered:
             return ReductionDecision(

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.arena import CandidateSet, SubscriptionArena
 from repro.core.policies import (
     DEFAULT_MERGE_BUDGET,
     ReductionDecision,
@@ -38,6 +39,7 @@ from repro.core.policies import (
 )
 from repro.core.results import SubsumptionResult
 from repro.core.subsumption import SubsumptionChecker
+from repro.model.errors import ValidationError
 from repro.model.subscriptions import Subscription
 
 __all__ = [
@@ -154,6 +156,16 @@ class SubscriptionStore:
         self.policy = self.strategy.name
         self._active: List[Subscription] = []
         self._covered: List[Subscription] = []
+        #: contiguous bounds of the *active* pool — the candidate set of
+        #: every reduction decision — maintained incrementally
+        self.arena = SubscriptionArena()
+        #: whether the arena mirrors the active pool (it opts out when a
+        #: store mixes attribute counts, which only flooding allows)
+        self._arena_ok = True
+        #: cached snapshot of the active candidate set (a plain tuple in
+        #: the mixed-schema degraded mode); dropped on every active-pool
+        #: mutation so checker verdict caches cannot go stale
+        self._selection: Optional[Sequence[Subscription]] = None
         #: identifiers of the synthetic merged bounding boxes currently
         #: stored (merging strategies only) — retracted once orphaned
         self._merged_ids: set = set()
@@ -222,6 +234,51 @@ class SubscriptionStore:
             return self.active_count
         return int(self.stats["forwarded"])
 
+    def active_candidates(self) -> Sequence[Subscription]:
+        """Snapshot of the active pool as a contiguous candidate set.
+
+        Rebuilt lazily after an active-pool mutation (a single vectorised
+        arena row gather); between mutations every reduction decision —
+        including the re-insertion storms of :meth:`remove_detailed` —
+        shares the same snapshot, and with it the checker's cached
+        deterministic verdicts.
+
+        A store holding subscriptions that cannot share a snapshot
+        (mixed schemas — possible only under flooding, which never
+        inspects bounds) degrades to a plain tuple, exactly the shape
+        the strategies historically received.
+        """
+        if self._selection is None:
+            if self._arena_ok:
+                try:
+                    self._selection = self.arena.select(self._active)
+                except ValidationError:
+                    self._arena_ok = False
+            if not self._arena_ok:
+                self._selection = tuple(self._active)
+        return self._selection
+
+    # ------------------------------------------------------------------
+    # Arena bookkeeping
+    # ------------------------------------------------------------------
+    def _activate(self, subscription: Subscription) -> None:
+        """Record an active-pool insertion in the arena."""
+        self._selection = None
+        if not self._arena_ok:
+            return
+        try:
+            self.arena.add(subscription)
+        except ValidationError:
+            # Mixed attribute counts (possible only under flooding, which
+            # never inspects bounds) — fall back to plain snapshots.
+            self._arena_ok = False
+
+    def _deactivate(self, subscription_id: str) -> None:
+        """Record an active-pool removal in the arena."""
+        self._selection = None
+        if self._arena_ok:
+            self.arena.discard(subscription_id)
+
     def find(self, subscription_id: str) -> Optional[Subscription]:
         """Look up a stored subscription by identifier."""
         for bucket in (self._active, self._covered):
@@ -240,7 +297,7 @@ class SubscriptionStore:
         only applies it to the pools and the cover links.
         """
         self.stats["added"] += 1
-        decision = self.strategy.decide(subscription, self._active)
+        decision = self.strategy.decide(subscription, self.active_candidates())
         self.stats["rspc_iterations"] += decision.rspc_iterations
 
         if decision.merged is not None:
@@ -253,6 +310,7 @@ class SubscriptionStore:
                 else ()
             )
             self._active.append(subscription)
+            self._activate(subscription)
             self.stats["forwarded"] += 1
             return StoreDecision(
                 subscription,
@@ -270,6 +328,18 @@ class SubscriptionStore:
             covered_by=decision.covered_by,
             result=decision.result,
         )
+
+    def add_batch(
+        self, subscriptions: Iterable[Subscription]
+    ) -> List[StoreDecision]:
+        """Insert many subscriptions in order, sharing candidate snapshots.
+
+        Behaviourally identical to calling :meth:`add` in a loop: runs of
+        suppressed insertions (which leave the active pool untouched)
+        reuse one arena snapshot and the checker's cached deterministic
+        verdicts; a forwarded/merged insertion re-snapshots.
+        """
+        return [self.add(subscription) for subscription in subscriptions]
 
     def _apply_merge(self, decision: ReductionDecision) -> StoreDecision:
         """Swap the absorbed active subscriptions for the merged box.
@@ -289,12 +359,14 @@ class SubscriptionStore:
                 replaced.append(existing)
                 self._covered.append(existing)
                 self.cover_links[existing.id] = (merged.id,)
+                self._deactivate(existing.id)
             else:
                 remaining.append(existing)
         self._active = remaining
         self._covered.append(subscription)
         self.cover_links[subscription.id] = (merged.id,)
         self._active.append(merged)
+        self._activate(merged)
         self._merged_ids.add(merged.id)
         self.stats["suppressed"] += 1
         self.stats["merges"] += 1
@@ -312,14 +384,30 @@ class SubscriptionStore:
     def _demote_covered_by(
         self, newcomer: Subscription
     ) -> Tuple[Subscription, ...]:
-        """Demote active subscriptions pair-wise covered by ``newcomer``."""
+        """Demote active subscriptions pair-wise covered by ``newcomer``.
+
+        One vectorised containment test over the active snapshot replaces
+        the per-subscription ``covers`` scan.
+        """
+        selection = self.active_candidates()
+        if not len(selection):
+            return ()
+        if isinstance(selection, CandidateSet):
+            covered_mask = selection.covered_rows_mask(newcomer)
+            if not covered_mask.any():
+                return ()
+        else:  # degraded (mixed-schema) mode: the historical scalar scan
+            covered_mask = [newcomer.covers(existing) for existing in self._active]
+            if not any(covered_mask):
+                return ()
         demoted: List[Subscription] = []
         remaining: List[Subscription] = []
-        for existing in self._active:
-            if newcomer.covers(existing):
+        for index, existing in enumerate(self._active):
+            if covered_mask[index]:
                 demoted.append(existing)
                 self._covered.append(existing)
                 self.cover_links[existing.id] = (newcomer.id,)
+                self._deactivate(existing.id)
             else:
                 remaining.append(existing)
         self._active = remaining
@@ -349,6 +437,7 @@ class SubscriptionStore:
         for index, subscription in enumerate(self._active):
             if subscription.id == subscription_id:
                 del self._active[index]
+                self._deactivate(subscription_id)
                 removed = subscription
                 break
         if removed is None:
@@ -443,6 +532,8 @@ class SubscriptionStore:
                 for index, subscription in enumerate(pool):
                     if subscription.id == merged_id:
                         del pool[index]
+                        if pool is self._active:
+                            self._deactivate(merged_id)
                         self._merged_ids.discard(merged_id)
                         retracted.append(subscription)
                         links = self.cover_links.pop(merged_id, ())

@@ -15,16 +15,32 @@ the order of Algorithm 4:
 Every stage can be toggled so the experiments can quantify its individual
 contribution (the ±MCS curves of Figures 7 and 9, the fast-decision
 ablation of the micro-benchmarks).
+
+Candidates may be handed over as a plain sequence of subscriptions (the
+historical object pipeline) or as a
+:class:`~repro.core.arena.CandidateSet` snapshot, in which case the
+conflict table is built zero-copy from the snapshot's contiguous bound
+matrices and the verdict becomes cacheable: deterministic verdicts
+(pair-wise cover, polyhedron witness, empty MCS — the stages that consume
+no randomness) are memoised against the snapshot's fingerprint, so
+re-deciding an identical instance (the unsubscription re-check storms of
+the broker layer) costs a dictionary lookup.  Any add/remove produces a
+new snapshot with a fresh fingerprint, which is what invalidates the
+cache.  Probabilistic verdicts are only cached when
+``cache_probabilistic`` is set, because serving them from cache skips
+RSPC's random draws and therefore shifts the seeded guess stream of
+later checks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core.arena import CandidateSet, as_candidate_set
 from repro.core.conflict_table import ConflictTable
 from repro.core.decisions import (
-    FastDecisionKind,
     detect_pairwise_cover,
     detect_polyhedron_witness,
 )
@@ -38,6 +54,39 @@ from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_probability
 
 __all__ = ["SubsumptionChecker"]
+
+#: verdict methods produced without consuming the checker's random stream
+#: — serving them from cache cannot perturb later seeded draws
+_DETERMINISTIC_METHODS = frozenset(
+    {
+        DecisionMethod.EMPTY_CANDIDATE_SET,
+        DecisionMethod.PAIRWISE_COVER,
+        DecisionMethod.POLYHEDRON_WITNESS,
+        DecisionMethod.EMPTY_MCS,
+    }
+)
+
+
+@dataclass
+class _PreparedInstance:
+    """Stages 1+3+4 of Algorithm 4 for one ``(s, S)`` instance.
+
+    Shared between :meth:`SubsumptionChecker.check` (which follows up
+    with RSPC) and :meth:`SubsumptionChecker.theoretical_d` (which only
+    needs the trial budget), so the two cannot drift.
+    """
+
+    table: ConflictTable
+    reduction: Optional[MCSResult]
+    reduced_rows: Tuple[int, ...]
+    estimate: Optional[object] = None
+    rho_w: float = 0.0
+    theoretical: float = float("inf")
+
+    @property
+    def mcs_empty(self) -> bool:
+        """Whether the MCS reduction removed every candidate."""
+        return self.reduction is not None and not self.reduced_rows
 
 
 @dataclass
@@ -60,6 +109,17 @@ class SubsumptionChecker:
     rng:
         Seed or generator for the random guesses; each :meth:`check` call
         draws from this stream, so a seeded checker is fully reproducible.
+    cache_size:
+        Capacity of the verdict cache (0 disables it).  Only checks
+        against :class:`~repro.core.arena.CandidateSet` snapshots are
+        cacheable; entries are keyed on the tested subscription's
+        identity *and bounds* plus the snapshot fingerprint, so a stale
+        verdict can never be served after an add/remove.
+    cache_probabilistic:
+        Also cache RSPC-backed verdicts.  Off by default: a hit skips
+        the random draws the original check consumed, which changes the
+        seeded guess stream of subsequent checks (and therefore the
+        bit-exact reproducibility of recorded runs).
     """
 
     delta: float = 1e-6
@@ -67,6 +127,8 @@ class SubsumptionChecker:
     use_mcs: bool = True
     use_fast_decisions: bool = True
     rng: RandomSource = None
+    cache_size: int = 256
+    cache_probabilistic: bool = False
 
     def __post_init__(self) -> None:
         require_probability(self.delta, "delta")
@@ -74,7 +136,84 @@ class SubsumptionChecker:
             raise ValueError("delta must be strictly between 0 and 1")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
         self._rng = ensure_rng(self.rng)
+        self._cache: "OrderedDict" = OrderedDict()
+        #: cumulative cache accounting (reset with :meth:`clear_cache`)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Verdict cache
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop every cached verdict and reset the hit/miss counters."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _cache_key(
+        self, subscription: Subscription, candidates: Sequence[Subscription]
+    ) -> Optional[tuple]:
+        if self.cache_size == 0 or not isinstance(candidates, CandidateSet):
+            return None
+        # The configuration fields participate in the key: the checker is a
+        # mutable dataclass and the ablation experiments toggle stages on a
+        # live instance — a verdict computed under one configuration must
+        # never answer for another.
+        return (
+            subscription.id,
+            subscription.lows.tobytes(),
+            subscription.highs.tobytes(),
+            candidates.fingerprint,
+            self.delta,
+            self.max_iterations,
+            self.use_mcs,
+            self.use_fast_decisions,
+            self.cache_probabilistic,
+        )
+
+    def _cache_store(self, key: Optional[tuple], result: SubsumptionResult) -> None:
+        if key is None:
+            return
+        if result.method not in _DETERMINISTIC_METHODS and not self.cache_probabilistic:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Shared stages 1 + 3 + 4
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_table(
+        subscription: Subscription, candidates: Sequence[Subscription]
+    ) -> ConflictTable:
+        """Stage 1: the conflict table (zero-copy for candidate snapshots)."""
+        return ConflictTable(subscription, candidates)
+
+    def _prepare(self, table: ConflictTable, use_mcs: bool) -> _PreparedInstance:
+        """Stages 3 and 4: MCS reduction plus the ``rho_w``/``d`` estimate."""
+        if use_mcs:
+            reduction = minimized_cover_set(table)
+            reduced_rows = reduction.kept_rows
+            if not reduced_rows:
+                return _PreparedInstance(table, reduction, ())
+            estimate_rows: Optional[Sequence[int]] = list(reduced_rows)
+        else:
+            reduction = None
+            reduced_rows = tuple(range(table.k))
+            estimate_rows = None
+        estimate = estimate_smallest_witness(table, estimate_rows)
+        rho_w = estimate.rho_w
+        theoretical = (
+            required_iterations(self.delta, rho_w) if rho_w > 0 else float("inf")
+        )
+        return _PreparedInstance(
+            table, reduction, reduced_rows, estimate, rho_w, theoretical
+        )
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -89,9 +228,9 @@ class SubsumptionChecker:
         Returns a :class:`SubsumptionResult` with the verdict, the stage
         that produced it and the cost accounting used by the experiments.
         """
-        candidates = list(candidates)
+        if not hasattr(candidates, "__len__"):
+            candidates = tuple(candidates)  # tolerate iterator inputs
         k = len(candidates)
-
         if k == 0:
             return SubsumptionResult(
                 answer=Answer.NOT_COVERED,
@@ -100,54 +239,71 @@ class SubsumptionChecker:
                 reduced_set_size=0,
             )
 
-        table = ConflictTable(subscription, candidates)
+        key = self._cache_key(subscription, candidates)
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+
+        table = self._build_table(subscription, candidates)
 
         # --- Stage 2: fast deterministic decisions -------------------
         if self.use_fast_decisions:
             pairwise = detect_pairwise_cover(table)
             if pairwise is not None:
-                return SubsumptionResult(
+                result = SubsumptionResult(
                     answer=Answer.COVERED,
                     method=DecisionMethod.PAIRWISE_COVER,
                     original_set_size=k,
                     reduced_set_size=k,
                     covering_row=pairwise.covering_row,
                 )
+                self._cache_store(key, result)
+                return result
             witness = detect_polyhedron_witness(table)
             if witness is not None:
-                return SubsumptionResult(
+                result = SubsumptionResult(
                     answer=Answer.NOT_COVERED,
                     method=DecisionMethod.POLYHEDRON_WITNESS,
                     original_set_size=k,
                     reduced_set_size=k,
                 )
+                self._cache_store(key, result)
+                return result
 
-        # --- Stage 3: MCS reduction -----------------------------------
-        if self.use_mcs:
-            reduction = minimized_cover_set(table)
-            reduced_rows = list(reduction.kept_rows)
-            reduced_candidates = list(reduction.kept)
-            if not reduced_candidates:
-                return SubsumptionResult(
-                    answer=Answer.NOT_COVERED,
-                    method=DecisionMethod.EMPTY_MCS,
-                    original_set_size=k,
-                    reduced_set_size=0,
-                    details={"mcs_passes": reduction.iterations},
-                )
-        else:
-            reduction = None
-            reduced_rows = list(range(k))
-            reduced_candidates = candidates
+        # --- Stages 3 + 4: MCS reduction and error model --------------
+        prepared = self._prepare(table, self.use_mcs)
+        reduction = prepared.reduction
+        if prepared.mcs_empty:
+            result = SubsumptionResult(
+                answer=Answer.NOT_COVERED,
+                method=DecisionMethod.EMPTY_MCS,
+                original_set_size=k,
+                reduced_set_size=0,
+                details={"mcs_passes": reduction.iterations},
+            )
+            self._cache_store(key, result)
+            return result
 
-        # --- Stage 4: error model --------------------------------------
-        estimate = estimate_smallest_witness(table, reduced_rows)
-        rho_w = estimate.rho_w
-        theoretical = (
-            required_iterations(self.delta, rho_w) if rho_w > 0 else float("inf")
+        reduced_rows = prepared.reduced_rows
+        reduced_candidates = (
+            reduction.kept if reduction is not None else table.candidates
         )
+        rho_w = prepared.rho_w
+        theoretical = prepared.theoretical
 
         # --- Stage 5: RSPC ---------------------------------------------
+        if reduction is not None:
+            row_index = list(reduced_rows)
+            reduced_bounds = (
+                table.candidate_lows[row_index],
+                table.candidate_highs[row_index],
+            )
+        else:
+            reduced_bounds = (table.candidate_lows, table.candidate_highs)
         rspc = run_rspc(
             subscription,
             reduced_candidates,
@@ -155,10 +311,11 @@ class SubsumptionChecker:
             delta=self.delta,
             rng=self._rng,
             max_iterations=self.max_iterations,
+            bounds=reduced_bounds,
         )
 
         details = {
-            "witness_estimate": estimate,
+            "witness_estimate": prepared.estimate,
             "rspc_outcome": rspc.outcome.value,
         }
         if reduction is not None:
@@ -169,7 +326,7 @@ class SubsumptionChecker:
             details["mcs_kept_rows"] = tuple(reduction.kept_rows)
 
         if rspc.outcome is RSPCOutcome.WITNESS_FOUND:
-            return SubsumptionResult(
+            result = SubsumptionResult(
                 answer=Answer.NOT_COVERED,
                 method=DecisionMethod.POINT_WITNESS,
                 original_set_size=k,
@@ -181,8 +338,10 @@ class SubsumptionChecker:
                 truncated=rspc.truncated,
                 details=details,
             )
+            self._cache_store(key, result)
+            return result
 
-        return SubsumptionResult(
+        result = SubsumptionResult(
             answer=Answer.PROBABLY_COVERED,
             method=DecisionMethod.RSPC_EXHAUSTED,
             original_set_size=k,
@@ -194,6 +353,26 @@ class SubsumptionChecker:
             truncated=rspc.truncated,
             details=details,
         )
+        self._cache_store(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Batched entry point
+    # ------------------------------------------------------------------
+    def check_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[SubsumptionResult]:
+        """Check many subscriptions against one shared candidate set.
+
+        The candidate bounds are stacked (or arena-gathered) once and
+        shared by every check in the batch; results are returned in
+        input order and are identical — draw for draw — to calling
+        :meth:`check` sequentially against the same candidate set.
+        """
+        shared = as_candidate_set(candidates)
+        return [self.check(subscription, shared) for subscription in subscriptions]
 
     # ------------------------------------------------------------------
     # Convenience wrappers
@@ -215,20 +394,18 @@ class SubsumptionChecker:
         """The paper's ``d`` for this instance without running RSPC.
 
         Used by the Figure 7/9 experiments which plot the theoretical trial
-        budget with and without the MCS reduction.
+        budget with and without the MCS reduction.  Shares stages 1/3/4
+        with :meth:`check` through :meth:`_prepare`.
         """
-        candidates = list(candidates)
-        if not candidates:
+        if not hasattr(candidates, "__len__"):
+            candidates = tuple(candidates)  # tolerate iterator inputs
+        if not len(candidates):
             return 0.0
-        table = ConflictTable(subscription, candidates)
+        table = self._build_table(subscription, candidates)
         use_mcs = self.use_mcs if apply_mcs is None else apply_mcs
-        rows: Optional[Sequence[int]] = None
-        if use_mcs:
-            reduction = minimized_cover_set(table)
-            rows = list(reduction.kept_rows)
-            if not rows:
-                return 0.0
-        estimate = estimate_smallest_witness(table, rows)
-        if estimate.rho_w <= 0:
+        prepared = self._prepare(table, use_mcs)
+        if prepared.mcs_empty:
+            return 0.0
+        if prepared.rho_w <= 0:
             return float("inf")
-        return required_iterations(self.delta, estimate.rho_w)
+        return prepared.theoretical

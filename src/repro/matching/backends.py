@@ -126,11 +126,11 @@ class LinearBackend(MatcherBackend):
         return self._subscriptions.pop(subscription_id, None) is not None
 
     def match_candidates(self, publication: Publication) -> MatchCandidates:
-        values = publication.values
+        values = publication.values_list
         matched = [
             subscription
             for subscription in self._subscriptions.values()
-            if subscription.contains_point(values)
+            if subscription.contains_values(values)
         ]
         return matched, len(self._subscriptions)
 

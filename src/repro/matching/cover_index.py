@@ -230,11 +230,12 @@ class CoverForest:
         """
         matched: List[Subscription] = []
         tests = 0
+        values = publication.values_list
         stack: List[_Node] = list(self._roots.values())
         while stack:
             node = stack.pop()
             tests += 1
-            if node.subscription.contains_point(publication.values):
+            if node.subscription.contains_values(values):
                 matched.append(node.subscription)
                 stack.extend(node.children)
         return matched, tests
@@ -252,6 +253,7 @@ class CoverForest:
         """
         matched: List[Subscription] = []
         tests = 0
+        values = publication.values_list
         stack: List[_Node] = []
         for root_id in root_ids:
             node = self._roots.get(root_id)
@@ -260,7 +262,7 @@ class CoverForest:
         while stack:
             node = stack.pop()
             tests += 1
-            if node.subscription.contains_point(publication.values):
+            if node.subscription.contains_values(values):
                 matched.append(node.subscription)
                 stack.extend(node.children)
         return matched, tests

@@ -167,6 +167,11 @@ class MatchingEngine:
             "covered_tests": 0,
         }
 
+    @property
+    def arena(self):
+        """The store's subscription arena (contiguous active-set bounds)."""
+        return self.store.arena
+
     # ------------------------------------------------------------------
     # Subscription management
     # ------------------------------------------------------------------
@@ -399,9 +404,10 @@ class MatchingEngine:
             )
             covered_tests += tests
             matched.extend(below)
+            values = publication.values_list
             for subscription in self._group_covered:
                 covered_tests += 1
-                if subscription.contains_point(publication.values):
+                if subscription.contains_values(values):
                     matched.append(subscription)
             return matched, covered_tests
         covered_matched, covered_tests = self._covered_index.match_candidates(

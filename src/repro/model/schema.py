@@ -14,11 +14,51 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from repro.model.attributes import Attribute, AttributeDomain, IntegerDomain
+from repro.model.attributes import (
+    Attribute,
+    AttributeDomain,
+    CategoricalDomain,
+    ContinuousDomain,
+    IntegerDomain,
+    TimestampDomain,
+)
 from repro.model.errors import SchemaError
 from repro.model.intervals import Interval
 
-__all__ = ["Schema"]
+__all__ = ["Schema", "SchemaVectors"]
+
+
+class SchemaVectors:
+    """Per-attribute domain facts as NumPy arrays, computed once per schema.
+
+    The vectorised pipeline stages (conflict-table gap measures, RSPC
+    sampling-plan hoisting) need per-attribute discreteness and measure
+    resolutions as arrays rather than through per-cell domain method
+    calls.  ``vectorisable`` is ``True`` only when every domain is one of
+    the built-in types whose measure semantics the vectorised code
+    replicates bit-for-bit; callers must fall back to the per-object
+    code path otherwise (e.g. for user-defined domains overriding
+    ``measure``).
+    """
+
+    __slots__ = ("discrete", "resolution", "vectorisable")
+
+    _EXACT_TYPES = (IntegerDomain, CategoricalDomain, TimestampDomain, ContinuousDomain)
+
+    def __init__(self, attributes: Tuple[Attribute, ...]):
+        self.discrete = np.array(
+            [a.domain.is_discrete for a in attributes], dtype=bool
+        )
+        self.resolution = np.array(
+            [
+                a.domain.resolution if isinstance(a.domain, ContinuousDomain) else 0.0
+                for a in attributes
+            ],
+            dtype=float,
+        )
+        self.vectorisable = all(
+            type(a.domain) in self._EXACT_TYPES for a in attributes
+        )
 
 
 class Schema:
@@ -52,6 +92,7 @@ class Schema:
         self._attributes: Tuple[Attribute, ...] = tuple(attrs)
         self._index: Dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
         self.name = name
+        self._vectors: Optional[SchemaVectors] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -142,6 +183,13 @@ class Schema:
     # ------------------------------------------------------------------
     # Geometry helpers
     # ------------------------------------------------------------------
+    @property
+    def vectors(self) -> SchemaVectors:
+        """Cached per-attribute domain arrays for the vectorised stages."""
+        if self._vectors is None:
+            self._vectors = SchemaVectors(self._attributes)
+        return self._vectors
+
     def full_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-attribute domain bounds as ``(lows, highs)`` arrays."""
         lows = np.array([a.domain.lower_bound for a in self._attributes], dtype=float)

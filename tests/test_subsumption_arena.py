@@ -1,0 +1,651 @@
+"""Differential sweep: the arena/vectorised pipeline vs the object pipeline.
+
+The zero-copy arena path (``CandidateSet`` snapshots, sliced conflict
+tables, matrix ``fc_i``/gap computations, blocked RSPC membership tests)
+must return *stage-for-stage identical* :class:`SubsumptionResult`s to
+the historical object-list pipeline: same answer, same deciding method,
+same reduced set, same ``rho_w``/``d``, same guess counts, same witness
+points.  The sweep drives both paths from identically seeded checkers
+over random and adversarial instances (degenerate point intervals,
+tiny discrete domains, conflicting candidate pairs, continuous domains)
+and compares everything.
+
+A second set of tests pins the verdict cache's safety property: a hit
+can never survive an invalidating arena (or store) mutation, and
+probabilistic verdicts are only memoised when explicitly requested.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.arena import CandidateSet, SubscriptionArena, as_candidate_set
+from repro.core.conflict_table import ConflictTable
+from repro.core.pairwise import PairwiseCoverageChecker
+from repro.core.results import DecisionMethod
+from repro.core.store import SubscriptionStore
+from repro.core.subsumption import SubsumptionChecker
+from repro.model import (
+    CategoricalDomain,
+    ContinuousDomain,
+    IntegerDomain,
+    Schema,
+    Subscription,
+)
+from repro.model.errors import ValidationError
+from repro.workloads.generators import random_publication, random_subscription
+from repro.workloads.scenarios import (
+    non_cover_scenario,
+    redundant_covering_scenario,
+)
+
+SEEDS = [3, 17, 101, 20060331]
+
+
+def _mixed_schema() -> Schema:
+    return Schema(
+        [
+            ("a", IntegerDomain(0, 1_000)),
+            ("b", ContinuousDomain(0.0, 50.0, resolution=1e-6)),
+            ("c", CategoricalDomain(["x", "y", "z", "w"])),
+            ("d", IntegerDomain(-20, 20)),
+        ],
+        name="mixed",
+    )
+
+
+def _random_instance(schema, rng, k):
+    subscription = random_subscription(schema, rng, width_fraction=(0.3, 0.9))
+    candidates = [
+        random_subscription(schema, rng, width_fraction=(0.05, 0.7))
+        for _ in range(k)
+    ]
+    return subscription, candidates
+
+
+def _degenerate_instance(schema, rng, k):
+    """Candidates collapsed to points / slivers on some attributes."""
+    subscription = random_subscription(schema, rng, width_fraction=(0.5, 1.0))
+    candidates = []
+    for _ in range(k):
+        candidate = random_subscription(schema, rng, width_fraction=(0.1, 0.6))
+        lows = candidate.lows.copy()
+        highs = candidate.highs.copy()
+        j = int(rng.integers(0, schema.m))
+        highs[j] = lows[j]  # point interval on one attribute
+        candidates.append(Subscription(schema, lows, highs))
+    return subscription, candidates
+
+
+def _conflicting_pair_instance(schema, rng):
+    """Two candidates splitting ``s`` on one attribute (conflicting entries)."""
+    subscription = random_subscription(schema, rng, width_fraction=(0.6, 1.0))
+    lows = subscription.lows.copy()
+    highs = subscription.highs.copy()
+    mid = (lows[0] + highs[0]) / 2.0
+    left_highs = highs.copy()
+    left_highs[0] = mid
+    right_lows = lows.copy()
+    right_lows[0] = mid
+    left = Subscription(schema, lows, left_highs)
+    right = Subscription(schema, right_lows, highs)
+    extra = [
+        random_subscription(schema, rng, width_fraction=(0.1, 0.5))
+        for _ in range(4)
+    ]
+    return subscription, [left, right] + extra
+
+
+def _instances():
+    for seed in SEEDS:
+        rng = np.random.default_rng(seed)
+        integer_schema = Schema.uniform_integer(6, 0, 500)
+        mixed = _mixed_schema()
+        tiny = Schema.uniform_integer(3, 0, 4)  # tiny discrete domain
+        yield _random_instance(integer_schema, rng, 12)
+        yield _random_instance(mixed, rng, 10)
+        yield _random_instance(tiny, rng, 8)
+        yield _degenerate_instance(integer_schema, rng, 8)
+        yield _degenerate_instance(mixed, rng, 6)
+        yield _conflicting_pair_instance(integer_schema, rng)
+        yield _conflicting_pair_instance(mixed, rng)
+    # structured instances from the paper's evaluation scenarios
+    schema = Schema.uniform_integer(8, 0, 2_000)
+    covering = redundant_covering_scenario(schema, 40, 11)
+    yield covering.subscription, list(covering.candidates)
+    noncover = non_cover_scenario(schema, 40, 13)
+    yield noncover.subscription, list(noncover.candidates)
+
+
+def _assert_results_identical(a, b):
+    assert a.answer == b.answer
+    assert a.method == b.method
+    assert a.original_set_size == b.original_set_size
+    assert a.reduced_set_size == b.reduced_set_size
+    assert a.rho_w == b.rho_w
+    assert a.theoretical_iterations == b.theoretical_iterations
+    assert a.iterations_performed == b.iterations_performed
+    assert a.error_bound == b.error_bound
+    assert a.truncated == b.truncated
+    assert a.covering_row == b.covering_row
+    if a.witness_point is None:
+        assert b.witness_point is None
+    else:
+        assert np.array_equal(a.witness_point, b.witness_point)
+    assert a.details.get("mcs_passes") == b.details.get("mcs_passes")
+    assert a.details.get("mcs_kept_rows") == b.details.get("mcs_kept_rows")
+    ea, eb = a.details.get("witness_estimate"), b.details.get("witness_estimate")
+    if ea is not None or eb is not None:
+        assert ea.per_attribute_gaps == eb.per_attribute_gaps
+        assert ea.witness_size == eb.witness_size
+        assert ea.subscription_size == eb.subscription_size
+
+
+class TestArenaPipelineDifferential:
+    def test_arena_and_object_pipelines_identical(self):
+        for subscription, candidates in _instances():
+            object_checker = SubsumptionChecker(
+                delta=1e-4, max_iterations=64, rng=99, cache_size=0
+            )
+            arena_checker = SubsumptionChecker(
+                delta=1e-4, max_iterations=64, rng=99, cache_size=0
+            )
+            arena = SubscriptionArena()
+            for candidate in candidates:
+                arena.add(candidate)
+            snapshot = arena.select(candidates)
+            object_result = object_checker.check(subscription, list(candidates))
+            arena_result = arena_checker.check(subscription, snapshot)
+            _assert_results_identical(object_result, arena_result)
+
+    def test_pipelines_identical_without_mcs_and_fast_decisions(self):
+        for use_mcs in (True, False):
+            for use_fast in (True, False):
+                for subscription, candidates in _instances():
+                    kwargs = dict(
+                        delta=1e-4,
+                        max_iterations=32,
+                        rng=7,
+                        cache_size=0,
+                        use_mcs=use_mcs,
+                        use_fast_decisions=use_fast,
+                    )
+                    a = SubsumptionChecker(**kwargs).check(
+                        subscription, list(candidates)
+                    )
+                    b = SubsumptionChecker(**kwargs).check(
+                        subscription, CandidateSet(candidates)
+                    )
+                    _assert_results_identical(a, b)
+
+    def test_theoretical_d_matches_check_stages(self):
+        for subscription, candidates in _instances():
+            for apply_mcs in (True, False, None):
+                a = SubsumptionChecker(delta=1e-5, cache_size=0).theoretical_d(
+                    subscription, list(candidates), apply_mcs=apply_mcs
+                )
+                b = SubsumptionChecker(delta=1e-5, cache_size=0).theoretical_d(
+                    subscription, CandidateSet(candidates), apply_mcs=apply_mcs
+                )
+                assert a == b
+
+    def test_check_batch_matches_sequential_checks(self):
+        rng = np.random.default_rng(42)
+        schema = Schema.uniform_integer(5, 0, 300)
+        candidates = [
+            random_subscription(schema, rng, width_fraction=(0.1, 0.6))
+            for _ in range(10)
+        ]
+        subjects = [
+            random_subscription(schema, rng, width_fraction=(0.2, 0.8))
+            for _ in range(8)
+        ]
+        sequential = SubsumptionChecker(
+            delta=1e-4, max_iterations=64, rng=5, cache_size=0
+        )
+        batched = SubsumptionChecker(
+            delta=1e-4, max_iterations=64, rng=5, cache_size=0
+        )
+        expected = [sequential.check(s, candidates) for s in subjects]
+        got = batched.check_batch(subjects, candidates)
+        assert len(got) == len(expected)
+        for a, b in zip(expected, got):
+            _assert_results_identical(a, b)
+
+
+class TestVectorisedStageDifferentials:
+    """The matrix stage implementations vs their per-object references."""
+
+    def test_conflict_free_counts_matches_scalar(self):
+        for subscription, candidates in _instances():
+            table = ConflictTable(subscription, candidates)
+            rng = np.random.default_rng(1)
+            subsets = [None, list(range(table.k))]
+            if table.k > 2:
+                subsets.append(
+                    sorted(
+                        rng.choice(table.k, size=table.k // 2, replace=False).tolist()
+                    )
+                )
+            for rows in subsets:
+                fast = table.conflict_free_counts(rows)
+                slow = table._conflict_free_counts_scalar(rows)
+                assert fast.tolist() == slow.tolist()
+
+    def test_minimum_gap_measures_matches_scalar(self):
+        for subscription, candidates in _instances():
+            table = ConflictTable(subscription, candidates)
+            for rows in (None, list(range(table.k))):
+                fast = table.minimum_gap_measures(rows)
+                slow = table._minimum_gap_measures_scalar(rows)
+                # bit-exact, not approximately equal
+                assert fast.tolist() == slow.tolist()
+
+    def test_custom_domain_falls_back_to_scalar_path(self):
+        class HalfMeasureDomain(IntegerDomain):
+            """A user domain whose measure differs from the built-in."""
+
+            def measure(self, interval):
+                return super().measure(interval) / 2.0
+
+        schema = Schema([("a", HalfMeasureDomain(0, 100))], name="custom")
+        assert not schema.vectors.vectorisable
+        subscription = Subscription(schema, [10.0], [90.0])
+        candidate = Subscription(schema, [20.0], [80.0])
+        table = ConflictTable(subscription, [candidate])
+        fast = table.minimum_gap_measures()
+        slow = table._minimum_gap_measures_scalar()
+        assert fast.tolist() == slow.tolist()
+
+    def test_cross_schema_fast_paths_raise_like_covers(self):
+        first = Schema.uniform_integer(3, 0, 100)
+        second = Schema.uniform_integer(3, 0, 50)
+        snapshot = CandidateSet([Subscription(first, [0, 0, 0], [90, 90, 90])])
+        foreign = Subscription(second, [10, 10, 10], [20, 20, 20])
+        with pytest.raises(ValidationError):
+            PairwiseCoverageChecker.check(foreign, snapshot)
+        with pytest.raises(ValidationError):
+            snapshot.covered_rows_mask(foreign)
+        with pytest.raises(ValidationError):
+            snapshot.covering_rows_mask(foreign)
+
+    def test_iterator_candidates_still_accepted(self):
+        from repro.core.policies import make_strategy
+
+        schema = Schema.uniform_integer(2, 0, 9)
+        subscription = Subscription(schema, [2, 2], [5, 5])
+        coverer = Subscription(schema, [0, 0], [9, 9])
+        checker = SubsumptionChecker(rng=1)
+        assert checker.check(subscription, iter([coverer])).covered
+        assert checker.theoretical_d(
+            subscription, iter([coverer])
+        ) == checker.theoretical_d(subscription, [coverer])
+        for policy in ("group", "merging", "hybrid"):
+            decision = make_strategy(policy).decide(subscription, iter([coverer]))
+            assert not decision.forwarded
+
+    def test_pairwise_check_vectorised_matches_scan(self):
+        for subscription, candidates in _instances():
+            scan = PairwiseCoverageChecker.check(subscription, list(candidates))
+            fast = PairwiseCoverageChecker.check(
+                subscription, CandidateSet(candidates)
+            )
+            assert scan.covered == fast.covered
+            assert scan.comparisons == fast.comparisons
+            if scan.covered:
+                assert scan.covering.id == fast.covering.id
+
+    def test_contains_values_matches_contains_point(self):
+        rng = np.random.default_rng(9)
+        for schema in (Schema.uniform_integer(7, 0, 100), _mixed_schema()):
+            for _ in range(50):
+                subscription = random_subscription(schema, rng)
+                publication = random_publication(schema, rng)
+                assert subscription.contains_values(
+                    publication.values_list
+                ) == subscription.contains_point(publication.values)
+
+
+class TestSubscriptionArena:
+    def test_add_select_remove_roundtrip(self):
+        schema = Schema.uniform_integer(4, 0, 50)
+        rng = np.random.default_rng(0)
+        subs = [random_subscription(schema, rng) for _ in range(6)]
+        arena = SubscriptionArena()
+        for sub in subs:
+            arena.add(sub)
+        snapshot = arena.select(subs)
+        assert snapshot.ids == tuple(s.id for s in subs)
+        assert np.array_equal(snapshot.lows, np.vstack([s.lows for s in subs]))
+        assert np.array_equal(snapshot.highs, np.vstack([s.highs for s in subs]))
+        # removal recycles rows through the free-list
+        row = arena.row_of(subs[2].id)
+        arena.remove(subs[2].id)
+        replacement = random_subscription(schema, rng)
+        assert arena.add(replacement) == row
+        reordered = [subs[4], subs[0], replacement]
+        snapshot2 = arena.select(reordered)
+        assert np.array_equal(
+            snapshot2.lows, np.vstack([s.lows for s in reordered])
+        )
+
+    def test_version_bumps_on_every_mutation(self):
+        schema = Schema.uniform_integer(2, 0, 9)
+        arena = SubscriptionArena()
+        v0 = arena.version
+        sub = Subscription(schema, [1, 1], [5, 5])
+        arena.add(sub)
+        assert arena.version == v0 + 1
+        arena.remove(sub.id)
+        assert arena.version == v0 + 2
+
+    def test_snapshot_survives_later_mutations(self):
+        schema = Schema.uniform_integer(2, 0, 9)
+        arena = SubscriptionArena()
+        a = Subscription(schema, [1, 1], [5, 5])
+        arena.add(a)
+        snapshot = arena.select([a])
+        lows_before = snapshot.lows.copy()
+        for i in range(100):  # force several capacity doublings
+            arena.add(Subscription(schema, [0, 0], [9, 9], subscription_id=f"g{i}"))
+        assert np.array_equal(snapshot.lows, lows_before)
+
+    def test_duplicate_and_mismatched_adds_rejected(self):
+        schema = Schema.uniform_integer(2, 0, 9)
+        other = Schema.uniform_integer(3, 0, 9)
+        arena = SubscriptionArena()
+        sub = Subscription(schema, [1, 1], [5, 5])
+        arena.add(sub)
+        with pytest.raises(ValidationError):
+            arena.add(sub)
+        with pytest.raises(ValidationError):
+            arena.add(Subscription(other, [0, 0, 0], [1, 1, 1]))
+
+    def test_as_candidate_set_passthrough(self):
+        snapshot = CandidateSet(())
+        assert as_candidate_set(snapshot) is snapshot
+        assert len(as_candidate_set([])) == 0
+
+    def test_mixed_schema_candidate_set_rejected(self):
+        first = Schema.uniform_integer(2, 0, 9)
+        second = Schema.uniform_integer(2, 0, 8)  # same m, different domain
+        with pytest.raises(ValidationError):
+            CandidateSet(
+                [
+                    Subscription(first, [0, 0], [5, 5]),
+                    Subscription(second, [0, 0], [5, 5]),
+                ]
+            )
+
+    def test_contains_values_validates_point_length(self):
+        schema = Schema.uniform_integer(3, 0, 9)
+        subscription = Subscription(schema, [0, 0, 0], [9, 9, 9])
+        with pytest.raises(ValidationError):
+            subscription.contains_values([1.0, 1.0])
+        with pytest.raises(ValidationError):
+            subscription.contains_values([1.0, 1.0, 1.0, 1.0])
+
+    def test_contains_values_rejects_nan_like_contains_point(self):
+        schema = Schema.uniform_integer(2, 0, 9)
+        subscription = Subscription(schema, [0, 0], [9, 9])
+        point = [float("nan"), 5.0]
+        assert not subscription.contains_values(point)
+        assert subscription.contains_values(point) == subscription.contains_point(
+            np.array(point)
+        )
+
+    def test_conflict_table_from_empty_candidate_set(self):
+        schema = Schema.uniform_integer(3, 0, 9)
+        subscription = Subscription(schema, [0, 0, 0], [9, 9, 9])
+        table = ConflictTable(subscription, CandidateSet(()))
+        assert table.k == 0
+        assert table.candidate_lows.shape == (0, 3)
+
+    def test_store_degrades_gracefully_on_mixed_schemas_under_flooding(self):
+        first = Schema.uniform_integer(2, 0, 9)
+        second = Schema.uniform_integer(3, 0, 9)
+        third = Schema.uniform_integer(2, 0, 5)  # same m as first, new schema
+        store = SubscriptionStore(policy="none")
+        store.add(Subscription(first, [0, 0], [5, 5]))
+        store.add(Subscription(second, [0, 0, 0], [5, 5, 5]))
+        store.add(Subscription(third, [0, 0], [5, 5]))
+        assert store.active_count == 3  # flooding forwards everything
+        # Same-m mixed schemas (arena accepts rows, snapshot refuses):
+        mixed = SubscriptionStore(policy="none")
+        mixed.add(Subscription(first, [0, 0], [5, 5]))
+        mixed.add(Subscription(third, [1, 1], [4, 4]))
+        mixed.add(Subscription(first, [2, 2], [3, 3]))
+        assert mixed.active_count == 3
+
+
+class TestVerdictCache:
+    @staticmethod
+    def _pairwise_covered_instance():
+        schema = Schema.uniform_integer(3, 0, 100)
+        subscription = Subscription(schema, [10, 10, 10], [20, 20, 20])
+        coverer = Subscription(schema, [0, 0, 0], [50, 50, 50])
+        return schema, subscription, coverer
+
+    def test_deterministic_verdict_is_cached(self):
+        _, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker()
+        snapshot = CandidateSet([coverer])
+        first = checker.check(subscription, snapshot)
+        second = checker.check(subscription, snapshot)
+        assert first.method is DecisionMethod.PAIRWISE_COVER
+        assert second is first
+        assert checker.cache_hits == 1
+
+    def test_plain_lists_are_never_cached(self):
+        _, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker()
+        checker.check(subscription, [coverer])
+        checker.check(subscription, [coverer])
+        assert checker.cache_hits == 0
+        assert checker.cache_misses == 0
+
+    def test_hit_never_survives_invalidating_add_or_remove(self):
+        schema, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker()
+        arena = SubscriptionArena()
+        arena.add(coverer)
+        snapshot = arena.select([coverer])
+        checker.check(subscription, snapshot)
+        assert checker.cache_misses == 1
+
+        # An add invalidates: the snapshot must be re-taken, and the new
+        # fingerprint cannot hit the stale entry.
+        other = Subscription(schema, [60, 60, 60], [90, 90, 90])
+        arena.add(other)
+        fresh = arena.select([coverer, other])
+        assert fresh.fingerprint != snapshot.fingerprint
+        checker.check(subscription, fresh)
+        assert checker.cache_hits == 0
+
+        # A remove invalidates just the same.
+        arena.remove(other.id)
+        after_remove = arena.select([coverer])
+        assert after_remove.fingerprint != snapshot.fingerprint
+        checker.check(subscription, after_remove)
+        assert checker.cache_hits == 0
+        assert checker.cache_misses == 3
+
+    def test_store_mutations_invalidate_cached_selection(self):
+        schema, _, coverer = self._pairwise_covered_instance()
+        store = SubscriptionStore(policy="pairwise")
+        store.add(coverer)
+        first = store.active_candidates()
+        assert store.active_candidates() is first  # stable between mutations
+        newcomer = Subscription(schema, [60, 60, 60], [95, 95, 95])
+        store.add(newcomer)
+        second = store.active_candidates()
+        assert second is not first
+        assert second.fingerprint != first.fingerprint
+        store.remove(newcomer.id)
+        third = store.active_candidates()
+        assert third.fingerprint != second.fingerprint
+
+    def test_changed_subscription_bounds_miss_despite_same_id(self):
+        schema, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker()
+        snapshot = CandidateSet([coverer])
+        checker.check(subscription, snapshot)
+        moved = Subscription(
+            schema, [90, 90, 90], [99, 99, 99], subscription_id=subscription.id
+        )
+        result = checker.check(moved, snapshot)
+        assert checker.cache_hits == 0
+        assert result.method is not DecisionMethod.PAIRWISE_COVER
+
+    def test_probabilistic_verdicts_cached_only_on_request(self):
+        schema = Schema.uniform_integer(2, 0, 50)
+        subscription = Subscription(schema, [0, 0], [40, 40])
+        candidates = [
+            Subscription(schema, [0, 0], [40, 20]),
+            Subscription(schema, [0, 15], [40, 40]),
+        ]
+        snapshot = CandidateSet(candidates)
+
+        default = SubsumptionChecker(delta=1e-3, max_iterations=50, rng=1)
+        first = default.check(subscription, snapshot)
+        assert not first.certain  # RSPC decided
+        default.check(subscription, snapshot)
+        assert default.cache_hits == 0
+
+        caching = SubsumptionChecker(
+            delta=1e-3, max_iterations=50, rng=1, cache_probabilistic=True
+        )
+        first = caching.check(subscription, snapshot)
+        second = caching.check(subscription, snapshot)
+        assert caching.cache_hits == 1
+        assert second is first
+
+    def test_reconfigured_checker_never_reuses_stale_verdicts(self):
+        _, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker(max_iterations=50, rng=3)
+        snapshot = CandidateSet([coverer])
+        first = checker.check(subscription, snapshot)
+        assert first.method is DecisionMethod.PAIRWISE_COVER
+        checker.use_fast_decisions = False  # ablation-style toggle
+        second = checker.check(subscription, snapshot)
+        assert checker.cache_hits == 0
+        assert second.method is not DecisionMethod.PAIRWISE_COVER
+
+    def test_disabling_cache_probabilistic_stops_serving_cached_rspc(self):
+        schema = Schema.uniform_integer(2, 0, 50)
+        subscription = Subscription(schema, [0, 0], [40, 40])
+        snapshot = CandidateSet(
+            [
+                Subscription(schema, [0, 0], [40, 20]),
+                Subscription(schema, [0, 15], [40, 40]),
+            ]
+        )
+        checker = SubsumptionChecker(
+            delta=1e-3, max_iterations=50, rng=1, cache_probabilistic=True
+        )
+        first = checker.check(subscription, snapshot)
+        assert not first.certain
+        checker.cache_probabilistic = False
+        checker.check(subscription, snapshot)
+        assert checker.cache_hits == 0  # RSPC re-ran under the new config
+
+    def test_cache_size_zero_disables_caching(self):
+        _, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker(cache_size=0)
+        snapshot = CandidateSet([coverer])
+        checker.check(subscription, snapshot)
+        checker.check(subscription, snapshot)
+        assert checker.cache_hits == 0
+
+    def test_lru_eviction_respects_capacity(self):
+        schema, subscription, coverer = self._pairwise_covered_instance()
+        checker = SubsumptionChecker(cache_size=2)
+        snapshots = [CandidateSet([coverer]) for _ in range(3)]
+        for snapshot in snapshots:
+            checker.check(subscription, snapshot)
+        assert len(checker._cache) == 2
+        # The oldest snapshot was evicted; re-checking it misses.
+        checker.check(subscription, snapshots[0])
+        assert checker.cache_hits == 0
+
+
+class TestStoreAndStrategyThreading:
+    def test_store_reinsertion_storm_identical_to_object_semantics(self):
+        """Unsubscribe re-check storms agree with a freshly rebuilt store."""
+        schema = Schema.uniform_integer(4, 0, 200)
+        rng = np.random.default_rng(8)
+        store = SubscriptionStore(
+            policy="group",
+            checker=SubsumptionChecker(delta=1e-3, max_iterations=40, rng=2),
+        )
+        subs = [
+            random_subscription(schema, rng, width_fraction=(0.2, 0.8))
+            for _ in range(30)
+        ]
+        for sub in subs:
+            store.add(sub)
+        # Storm: remove a prefix of the active set, forcing re-insertions.
+        for sub in list(store.active)[:5]:
+            store.remove_detailed(sub.id)
+        # Every surviving subscription is in exactly one pool, and the
+        # arena mirrors the active pool exactly.
+        active_ids = {s.id for s in store.active}
+        covered_ids = {s.id for s in store.covered}
+        assert not (active_ids & covered_ids)
+        assert len(store.arena) == len(active_ids)
+        for sub in store.active:
+            assert sub.id in store.arena
+        snapshot = store.active_candidates()
+        assert np.array_equal(
+            snapshot.lows, np.vstack([s.lows for s in store.active])
+        )
+
+    def test_decide_batch_matches_sequential_decides(self):
+        from repro.core.policies import make_strategy
+
+        schema = Schema.uniform_integer(3, 0, 100)
+        rng = np.random.default_rng(3)
+        candidates = [
+            random_subscription(schema, rng, width_fraction=(0.2, 0.7))
+            for _ in range(8)
+        ]
+        subjects = [
+            random_subscription(schema, rng, width_fraction=(0.1, 0.9))
+            for _ in range(6)
+        ]
+        for policy in ("none", "pairwise", "merging"):
+            strategy_a = make_strategy(policy)
+            strategy_b = make_strategy(policy)
+            expected = [strategy_a.decide(s, list(candidates)) for s in subjects]
+            got = strategy_b.decide_batch(subjects, candidates)
+            for a, b in zip(expected, got):
+                assert a.forwarded == b.forwarded
+                assert a.covered_by == b.covered_by
+                assert a.candidates_considered == b.candidates_considered
+                assert (a.merged is None) == (b.merged is None)
+                if a.merged is not None:
+                    assert a.merged.same_box(b.merged)
+                    assert a.false_volume == b.false_volume
+
+    def test_store_add_batch_matches_sequential_adds(self):
+        schema = Schema.uniform_integer(3, 0, 100)
+        rng = np.random.default_rng(4)
+        subs = [
+            random_subscription(schema, rng, width_fraction=(0.1, 0.9))
+            for _ in range(20)
+        ]
+        sequential = SubscriptionStore(
+            policy="group",
+            checker=SubsumptionChecker(delta=1e-3, max_iterations=40, rng=6),
+        )
+        batched = SubscriptionStore(
+            policy="group",
+            checker=SubsumptionChecker(delta=1e-3, max_iterations=40, rng=6),
+        )
+        expected = [sequential.add(sub) for sub in subs]
+        got = batched.add_batch(subs)
+        for a, b in zip(expected, got):
+            assert a.forwarded == b.forwarded
+            assert a.covered_by == b.covered_by
+            assert tuple(d.id for d in a.demoted) == tuple(d.id for d in b.demoted)
+        assert [s.id for s in sequential.active] == [s.id for s in batched.active]
+        assert sequential.stats == batched.stats
