@@ -66,9 +66,17 @@ def _flush_bench_results() -> None:
     payload = {
         "schema": 1,
         "paper_scale": paper_scale(),
+        "provenance": _provenance_stamp(),
         "results": dict(sorted(results.items())),
     }
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def _provenance_stamp() -> Dict[str, Any]:
+    """Git SHA, python version and platform of the measuring machine."""
+    from repro.utils.provenance import provenance
+
+    return provenance(cwd=str(Path(__file__).resolve().parent.parent))
 
 #: rendered experiment tables collected during the run, emitted in the
 #: terminal summary (which pytest never captures) so that

@@ -132,9 +132,13 @@ class Broker:
         dedup_window: int = 4096,
         record_latencies: bool = False,
         merge_budget: float = DEFAULT_MERGE_BUDGET,
+        obs=None,
     ):
         if dedup_window < 1:
             raise ValueError("dedup_window must be positive")
+        #: optional :class:`~repro.obs.probes.ObsProbe`; ``None`` (the
+        #: default) keeps every handler on the pre-observability path
+        self._obs = obs
         self.id = broker_id
         self.neighbors: List[str] = list(neighbors)
         self._checker = checker or SubsumptionChecker()
@@ -242,7 +246,7 @@ class Broker:
         return snapshot
 
     def _coverage_decision(
-        self, subscription, neighbor: str
+        self, subscription, neighbor: str, message: Optional[Message] = None
     ) -> SubscriptionDecision:
         """Decide what to do with ``subscription`` toward ``neighbor``.
 
@@ -251,9 +255,38 @@ class Broker:
         a merged bounding box) comes from the broker's pluggable
         reduction strategy.
         """
-        decision = self.strategy.decide(
-            subscription, self._candidates_for(neighbor)
-        )
+        obs = self._obs
+        if obs is not None:
+            obs.stage_push("broker.decision")
+            try:
+                decision = self.strategy.decide(
+                    subscription, self._candidates_for(neighbor)
+                )
+            finally:
+                obs.stage_pop()
+            if obs.spans is not None and message is not None and message.trace_id:
+                if decision.merged is not None:
+                    status = "merged"
+                elif decision.forwarded:
+                    status = "forwarded"
+                else:
+                    status = "suppressed"
+                obs.spans.record(
+                    message.trace_id,
+                    "subscription",
+                    "decision",
+                    message.delivered_at,
+                    broker=self.id,
+                    link=f"{self.id}->{neighbor}",
+                    status=status,
+                    subscription_id=subscription.id,
+                    candidates=decision.candidates_considered,
+                    rspc_iterations=decision.rspc_iterations,
+                )
+        else:
+            decision = self.strategy.decide(
+                subscription, self._candidates_for(neighbor)
+            )
         return SubscriptionDecision(
             broker=self.id,
             subscription_id=subscription.id,
@@ -308,7 +341,7 @@ class Broker:
         for neighbor in self.neighbors:
             if neighbor == message.sender:
                 continue
-            decision = self._coverage_decision(subscription, neighbor)
+            decision = self._coverage_decision(subscription, neighbor, message)
             decisions.append(decision)
             self.decisions.append(decision)
             if decision.merged is not None:
@@ -331,6 +364,7 @@ class Broker:
                     origin=message.origin or self.id,
                     injected_at=message.injected_at,
                     sent_at=message.delivered_at,
+                    trace_id=message.trace_id,
                 )
             )
         return outgoing, decisions
@@ -361,6 +395,7 @@ class Broker:
                 origin=self.id,
                 injected_at=message.injected_at,
                 sent_at=message.delivered_at,
+                trace_id=message.trace_id,
             )
         ]
         for replaced_id in decision.replaced:
@@ -375,6 +410,7 @@ class Broker:
                     origin=self.id,
                     injected_at=message.injected_at,
                     sent_at=message.delivered_at,
+                    trace_id=message.trace_id,
                 )
             )
         sent_here[merged.id] = merged
@@ -434,6 +470,7 @@ class Broker:
                     origin=message.origin,
                     injected_at=message.injected_at,
                     sent_at=message.delivered_at,
+                    trace_id=message.trace_id,
                 )
             )
             more_out, more_decisions = self._readvertise_dependents(
@@ -464,7 +501,9 @@ class Broker:
             dependent = self.routing.get(sid)
             if dependent is None:
                 continue
-            decision = self._coverage_decision(dependent.subscription, neighbor)
+            decision = self._coverage_decision(
+                dependent.subscription, neighbor, message
+            )
             decisions.append(decision)
             self.decisions.append(decision)
             if decision.merged is not None:
@@ -485,6 +524,7 @@ class Broker:
                     origin=dependent.origin or self.id,
                     injected_at=message.injected_at,
                     sent_at=message.delivered_at,
+                    trace_id=message.trace_id,
                 )
             )
         return outgoing, decisions
@@ -518,6 +558,7 @@ class Broker:
                     origin=message.origin,
                     injected_at=message.injected_at,
                     sent_at=message.delivered_at,
+                    trace_id=message.trace_id,
                 )
             ]
             more_out, decisions = self._readvertise_dependents(
@@ -535,13 +576,52 @@ class Broker:
         delivered to each matching local subscriber.
         """
         publication = message.publication
-        if publication.id in self._seen_publications:
-            return []
-        self._seen_publications[publication.id] = None
-        while len(self._seen_publications) > self.dedup_window:
-            self._seen_publications.popitem(last=False)
+        obs = self._obs
+        trace = obs is not None and obs.spans is not None and bool(message.trace_id)
 
-        matching = self.routing.matching_entries(publication)
+        if obs is not None:
+            obs.stage_push("broker.dedup")
+        duplicate = publication.id in self._seen_publications
+        if not duplicate:
+            self._seen_publications[publication.id] = None
+            while len(self._seen_publications) > self.dedup_window:
+                self._seen_publications.popitem(last=False)
+        if obs is not None:
+            obs.stage_pop()
+        if trace:
+            obs.spans.record(
+                message.trace_id,
+                "publication",
+                "dedup",
+                message.delivered_at,
+                broker=self.id,
+                status="duplicate" if duplicate else "fresh",
+                publication_id=publication.id,
+            )
+        if duplicate:
+            return []
+
+        if obs is not None:
+            obs.stage_push("broker.route_lookup")
+            try:
+                matching, route_tests = self.routing.matching_entries_with_tests(
+                    publication
+                )
+            finally:
+                obs.stage_pop()
+            if trace:
+                obs.spans.record(
+                    message.trace_id,
+                    "publication",
+                    "route-lookup",
+                    message.delivered_at,
+                    broker=self.id,
+                    matches=len(matching),
+                    tests=route_tests,
+                )
+            obs.stage_push("broker.match_forward")
+        else:
+            matching = self.routing.matching_entries(publication)
         targets: List[str] = []
         delivered_any = False
         for entry in matching:
@@ -562,6 +642,23 @@ class Broker:
             # matches: dead-end traffic attracted by an over-approximating
             # (merged) advertisement.
             self.dead_letter_publications += 1
+        if obs is not None:
+            obs.stage_pop()
+            if trace:
+                if delivered_any or targets:
+                    status = "forwarded" if targets else "delivered"
+                else:
+                    status = "dead-end"
+                obs.spans.record(
+                    message.trace_id,
+                    "publication",
+                    "match",
+                    message.delivered_at,
+                    broker=self.id,
+                    status=status,
+                    local=int(delivered_any),
+                    forwards=len(targets),
+                )
 
         return [
             PublicationMessage(
@@ -572,6 +669,7 @@ class Broker:
                 origin=message.origin or self.id,
                 injected_at=message.injected_at,
                 sent_at=message.delivered_at,
+                trace_id=message.trace_id,
             )
             for target in targets
         ]
@@ -589,6 +687,20 @@ class Broker:
         if self.record_latencies:
             self.delivered_latencies.append(
                 message.delivered_at - message.injected_at
+            )
+        obs = self._obs
+        if obs is not None and obs.spans is not None and message.trace_id:
+            obs.spans.record(
+                message.trace_id,
+                "publication",
+                "deliver",
+                message.injected_at,
+                message.delivered_at,
+                broker=self.id,
+                subscriber=entry.source_id,
+                subscription_id=entry.subscription.id,
+                publication_id=message.publication.id,
+                hops=message.hops,
             )
 
     def _deliver_merged_local(

@@ -47,6 +47,11 @@ class Message:
         Virtual time at which the kernel delivered this hop to its
         recipient (``sent_at`` plus the link's sampled latency, pushed
         later if the link's FIFO order demands it).
+    trace_id:
+        Causal-trace identifier assigned by the observability layer when
+        span recording is on (empty otherwise); every hop a client
+        operation fans out into inherits it, which is what stitches the
+        per-stage spans of :mod:`repro.obs.spans` into one causal chain.
     """
 
     sender: Optional[str]
@@ -55,6 +60,7 @@ class Message:
     injected_at: float = 0.0
     sent_at: float = 0.0
     delivered_at: float = 0.0
+    trace_id: str = ""
 
     @property
     def hop_latency(self) -> float:

@@ -1,13 +1,25 @@
-"""Network-wide traffic, delivery and latency metrics."""
+"""Network-wide traffic, delivery and latency metrics.
+
+Since the observability PR the counters of :class:`NetworkMetrics` are
+backed by :class:`~repro.obs.instruments.InstrumentRegistry` instruments:
+each counter is a registry :class:`~repro.obs.instruments.Counter`
+exposed through a generated property, so every ``metrics.notifications
++= 1`` call site is unchanged while one registry becomes the single
+source of truth for the run's metrics (shared with the probe layer when
+a probe is attached, private otherwise).  The numeric values, snapshot
+semantics and summary dictionaries are byte-identical to the pre-registry
+dataclass.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.broker.messages import NotificationRecord
+from repro.obs.instruments import InstrumentRegistry
 
 __all__ = ["MetricsSnapshot", "NetworkMetrics"]
 
@@ -32,10 +44,22 @@ _REDUCTION_FIELDS = (
 )
 
 
+#: the stable shape every latency summary has — an empty sample reports
+#: all-zeros rather than silently dropping the keys, so downstream report
+#: consumers never have to guard against a missing percentile column
+_EMPTY_LATENCY_STATS = {
+    "delivery_latency_p50": 0.0,
+    "delivery_latency_p95": 0.0,
+    "delivery_latency_p99": 0.0,
+    "delivery_latency_mean": 0.0,
+    "delivery_latency_max": 0.0,
+}
+
+
 def _latency_stats(latencies: Sequence[float]) -> Dict[str, float]:
-    """Percentile summary of a latency sample (empty dict when empty)."""
+    """Percentile summary of a latency sample (all zeros when empty)."""
     if not len(latencies):
-        return {}
+        return dict(_EMPTY_LATENCY_STATS)
     array = np.asarray(latencies, dtype=float)
     p50, p95, p99 = np.percentile(array, (50.0, 95.0, 99.0))
     return {
@@ -127,9 +151,16 @@ class MetricsSnapshot:
         return delta
 
 
-@dataclass
 class NetworkMetrics:
     """Counters accumulated by a :class:`~repro.broker.network.BrokerNetwork`.
+
+    Every counter below lives in an
+    :class:`~repro.obs.instruments.InstrumentRegistry` (under
+    ``network.<counter name>``) and is exposed as a generated property,
+    so attribute reads/writes — including the pervasive ``+=`` call
+    sites — behave exactly as the former dataclass fields did.  Pass
+    ``registry`` to share the run's single registry with the
+    observability layer; by default each instance owns a private one.
 
     Attributes
     ----------
@@ -184,30 +215,68 @@ class NetworkMetrics:
         latency-free runs keep their historical metric dictionaries).
     """
 
-    subscription_messages: int = 0
-    unsubscription_messages: int = 0
-    publication_messages: int = 0
-    notifications: int = 0
-    expected_notifications: int = 0
-    suppressed_subscriptions: int = 0
-    subsumption_checks: int = 0
-    rspc_iterations: int = 0
-    false_positive_notifications: int = 0
-    merged_advertisements: int = 0
-    merge_false_volume: float = 0.0
-    dead_letter_publications: int = 0
-    batched_publications: int = 0
-    queue_depth_high_water: int = 0
-    #: high-water mark of the current phase interval (reset at each
-    #: :meth:`~repro.broker.network.BrokerNetwork.mark_phase`)
-    phase_queue_depth_high_water: int = 0
-    track_latency: bool = False
-    delivered: List[NotificationRecord] = field(default_factory=list)
-    missed: List[NotificationRecord] = field(default_factory=list)
-    #: delivered notifications whose subscription did not actually match
-    #: the publication (merged-filter false positives)
-    false_positives: List[NotificationRecord] = field(default_factory=list)
-    delivery_latencies: List[float] = field(default_factory=list)
+    #: registry-backed counters (``network.<name>`` Counter instruments)
+    _COUNTER_FIELDS = (
+        "subscription_messages",
+        "unsubscription_messages",
+        "publication_messages",
+        "notifications",
+        "expected_notifications",
+        "suppressed_subscriptions",
+        "subsumption_checks",
+        "rspc_iterations",
+        "false_positive_notifications",
+        "merged_advertisements",
+        "merge_false_volume",
+        "dead_letter_publications",
+        "batched_publications",
+    )
+    #: registry-backed levels (``network.<name>`` Gauge instruments)
+    _GAUGE_FIELDS = (
+        "queue_depth_high_water",
+        # high-water mark of the current phase interval (reset at each
+        # :meth:`~repro.broker.network.BrokerNetwork.mark_phase`)
+        "phase_queue_depth_high_water",
+    )
+
+    def __init__(
+        self,
+        track_latency: bool = False,
+        registry: Optional[InstrumentRegistry] = None,
+    ):
+        self.registry = registry if registry is not None else InstrumentRegistry()
+        self.track_latency = track_latency
+        self._counters = {
+            name: self.registry.counter(f"network.{name}")
+            for name in self._COUNTER_FIELDS
+        }
+        self._gauges = {
+            name: self.registry.gauge(f"network.{name}")
+            for name in self._GAUGE_FIELDS
+        }
+        #: delivery-latency samples live in a registry histogram; the
+        #: :attr:`delivery_latencies` property exposes its raw sample
+        #: list, so in-order extends and index slicing keep working
+        self._latency_histogram = self.registry.histogram(
+            "network.delivery_latency"
+        )
+        self.delivered: List[NotificationRecord] = []
+        self.missed: List[NotificationRecord] = []
+        #: delivered notifications whose subscription did not actually
+        #: match the publication (merged-filter false positives)
+        self.false_positives: List[NotificationRecord] = []
+
+    @property
+    def delivery_latencies(self) -> List[float]:
+        """The delivery-latency sample list, in delivery order."""
+        return self._latency_histogram.samples
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"NetworkMetrics(notifications={self.notifications}, "
+            f"expected={self.expected_notifications}, "
+            f"track_latency={self.track_latency})"
+        )
 
     @property
     def delivery_ratio(self) -> float:
@@ -318,3 +387,30 @@ class NetworkMetrics:
         if self.dead_letter_publications:
             summary["dead_letter_publications"] = self.dead_letter_publications
         return summary
+
+
+def _counter_property(name: str) -> property:
+    def _get(self: NetworkMetrics):
+        return self._counters[name].value
+
+    def _set(self: NetworkMetrics, value) -> None:
+        self._counters[name].value = value
+
+    return property(_get, _set, doc=f"Registry-backed counter ``network.{name}``.")
+
+
+def _gauge_property(name: str) -> property:
+    def _get(self: NetworkMetrics):
+        return self._gauges[name].value
+
+    def _set(self: NetworkMetrics, value) -> None:
+        self._gauges[name].value = value
+
+    return property(_get, _set, doc=f"Registry-backed gauge ``network.{name}``.")
+
+
+for _name in NetworkMetrics._COUNTER_FIELDS:
+    setattr(NetworkMetrics, _name, _counter_property(_name))
+for _name in NetworkMetrics._GAUGE_FIELDS:
+    setattr(NetworkMetrics, _name, _gauge_property(_name))
+del _name

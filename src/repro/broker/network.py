@@ -43,6 +43,7 @@ from repro.core.subsumption import SubsumptionChecker
 from repro.matching.backends import make_backend
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
+from repro.obs import probes as obs_probes
 from repro.utils.rng import RandomSource, ensure_rng, spawn_rngs
 
 __all__ = ["BrokerNetwork"]
@@ -85,6 +86,13 @@ class BrokerNetwork:
         batching).
     dedup_window:
         Per-broker bound on the publication-id dedup memory.
+    obs:
+        Optional :class:`~repro.obs.probes.ObsProbe` observing this
+        network (stage timers, causal spans, instrument registry).
+        Defaults to the module-level probe installed via
+        :func:`repro.obs.probes.install`; when none is installed
+        (the default) the network runs the exact pre-observability code
+        path and its metrics/trace hashes are byte-identical to it.
     """
 
     def __init__(
@@ -99,7 +107,9 @@ class BrokerNetwork:
         batch_size: int = 1,
         dedup_window: int = 4096,
         merge_budget: float = DEFAULT_MERGE_BUDGET,
+        obs=None,
     ):
+        self._obs = obs if obs is not None else obs_probes.active()
         self.policy = resolve_policy(policy)
         self.merge_budget = merge_budget
         self.delta = delta
@@ -117,9 +127,15 @@ class BrokerNetwork:
             if isinstance(model, LognormalLatency):
                 model.reseed(spawn_rngs(self._rng, 1)[0])
         self.latency_model: LatencyModel = model
-        self.kernel = EventKernel(model, batch_size=batch_size)
+        self.kernel = EventKernel(model, batch_size=batch_size, obs=self._obs)
         self.brokers: Dict[str, Broker] = {}
-        self.metrics = NetworkMetrics(track_latency=model.name != "zero")
+        # With a probe attached, the network's counters live in the
+        # probe's instrument registry — one registry is then the single
+        # source of truth for every metric of the run.
+        self.metrics = NetworkMetrics(
+            track_latency=model.name != "zero",
+            registry=self._obs.registry if self._obs is not None else None,
+        )
         #: ``(phase name, metrics snapshot at phase start)`` marks, in order
         self.phase_marks: List[Tuple[str, MetricsSnapshot]] = []
         #: client identifier -> broker identifier
@@ -152,6 +168,7 @@ class BrokerNetwork:
             dedup_window=self.dedup_window,
             record_latencies=self.metrics.track_latency,
             merge_budget=self.merge_budget,
+            obs=self._obs,
         )
         self.brokers[broker_id] = broker
         return broker
@@ -237,7 +254,12 @@ class BrokerNetwork:
         network-wide metrics are updated as a side effect).
         """
         broker_id = self._broker_of(client_id)
+        obs = self._obs
+        if obs is not None:
+            obs.stage_push("network.oracle")
         expected = self._expected_notifications(publication)
+        if obs is not None:
+            obs.stage_pop()
         self.metrics.expected_notifications += len(expected)
 
         delivered_before = {
@@ -272,9 +294,14 @@ class BrokerNetwork:
         publishing one by one.
         """
         broker_id = self._broker_of(client_id)
+        obs = self._obs
+        if obs is not None:
+            obs.stage_push("network.oracle")
         expected: List[NotificationRecord] = []
         for publication in publications:
             expected.extend(self._expected_notifications(publication))
+        if obs is not None:
+            obs.stage_pop()
         self.metrics.expected_notifications += len(expected)
 
         delivered_before = {
@@ -295,6 +322,20 @@ class BrokerNetwork:
         return self._collect_deliveries(expected, delivered_before)
 
     def _collect_deliveries(
+        self,
+        expected: List[NotificationRecord],
+        delivered_before: Dict[str, int],
+    ) -> List[NotificationRecord]:
+        obs = self._obs
+        if obs is not None:
+            obs.stage_push("network.collect")
+            try:
+                return self._collect_deliveries_impl(expected, delivered_before)
+            finally:
+                obs.stage_pop()
+        return self._collect_deliveries_impl(expected, delivered_before)
+
+    def _collect_deliveries_impl(
         self,
         expected: List[NotificationRecord],
         delivered_before: Dict[str, int],
@@ -366,31 +407,48 @@ class BrokerNetwork:
     def _inject(self, message: Message) -> None:
         message.injected_at = self.kernel.now
         message.sent_at = self.kernel.now
+        if self._obs is not None:
+            self._obs.on_inject(message, self.kernel.now)
         self.kernel.schedule(message)
 
     def _drain(self) -> None:
         kernel = self.kernel
+        obs = self._obs
         for message in kernel.drain():
+            if obs is not None:
+                obs.on_hop_delivered(message)
             broker = self.brokers[message.recipient]
             if isinstance(message, SubscriptionMessage):
                 if message.sender is not None:
                     self.metrics.subscription_messages += 1
+                if obs is not None:
+                    obs.stage_push("network.handle_subscription")
                 outgoing, decisions = broker.handle_subscription(message)
+                if obs is not None:
+                    obs.stage_pop()
                 self._account_decisions(decisions)
             elif isinstance(message, UnsubscriptionMessage):
                 if message.sender is not None:
                     self.metrics.unsubscription_messages += 1
+                if obs is not None:
+                    obs.stage_push("network.handle_unsubscription")
                 outgoing, decisions = broker.handle_unsubscription(message)
+                if obs is not None:
+                    obs.stage_pop()
                 self._account_decisions(decisions)
             elif isinstance(message, PublicationBatchMessage):
                 # One hop (and one latency sample) for the whole batch.
                 self.metrics.publication_messages += 1
                 self.metrics.batched_publications += len(message.messages)
                 dead_before = broker.dead_letter_publications
+                if obs is not None:
+                    obs.stage_push("network.handle_publication")
                 outgoing = []
                 for inner in message.messages:
                     inner.delivered_at = message.delivered_at
                     outgoing.extend(broker.handle_publication(inner))
+                if obs is not None:
+                    obs.stage_pop()
                 self.metrics.dead_letter_publications += (
                     broker.dead_letter_publications - dead_before
                 )
@@ -398,7 +456,11 @@ class BrokerNetwork:
                 if message.sender is not None:
                     self.metrics.publication_messages += 1
                 dead_before = broker.dead_letter_publications
+                if obs is not None:
+                    obs.stage_push("network.handle_publication")
                 outgoing = broker.handle_publication(message)
+                if obs is not None:
+                    obs.stage_pop()
                 self.metrics.dead_letter_publications += (
                     broker.dead_letter_publications - dead_before
                 )

@@ -104,6 +104,21 @@ class RoutingTable:
         matched, _tests = self._index.match_candidates(publication)
         return [self._entries[subscription.id] for subscription in matched]
 
+    def matching_entries_with_tests(
+        self, publication: Publication
+    ) -> Tuple[List[RouteEntry], int]:
+        """:meth:`matching_entries` plus the membership-test count.
+
+        The observability layer uses the test count to attribute
+        route-lookup cost per broker; the entry list is identical to
+        :meth:`matching_entries`.
+        """
+        matched, tests = self._index.match_candidates(publication)
+        return (
+            [self._entries[subscription.id] for subscription in matched],
+            tests,
+        )
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -199,13 +199,24 @@ class EventKernel:
         Egress batching factor: publications bound for the same link are
         coalesced into one batch hop once this many accumulate.  ``1``
         (the default) disables batching.
+    obs:
+        Optional :class:`~repro.obs.probes.ObsProbe`; when attached the
+        kernel times its scheduling work and emits ``enqueued`` spans
+        with queue depths.  ``None`` (the default) keeps the kernel on
+        the exact pre-observability code path.
     """
 
-    def __init__(self, latency_model: Optional[LatencyModel] = None, batch_size: int = 1):
+    def __init__(
+        self,
+        latency_model: Optional[LatencyModel] = None,
+        batch_size: int = 1,
+        obs=None,
+    ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.latency_model = latency_model or ZeroLatency()
         self.batch_size = batch_size
+        self._obs = obs
         #: current virtual time (time of the last delivered event)
         self.now = 0.0
         self._heap: List[Tuple[float, int, Message]] = []
@@ -234,6 +245,17 @@ class EventKernel:
         order (FIFO links).  Publications are diverted through the egress
         buffer when batching is on.
         """
+        obs = self._obs
+        if obs is not None:
+            obs.stage_push("kernel.schedule")
+            try:
+                self._schedule(message)
+            finally:
+                obs.stage_pop()
+            return
+        self._schedule(message)
+
+    def _schedule(self, message: Message) -> None:
         if (
             self.batch_size > 1
             and message.sender is not None
@@ -272,6 +294,8 @@ class EventKernel:
             self.queue_depth_high_water = len(self._heap)
         if len(self._heap) > self.phase_queue_depth_high_water:
             self.phase_queue_depth_high_water = len(self._heap)
+        if self._obs is not None:
+            self._obs.on_enqueue(message, deliver_at, len(self._heap))
 
     def reset_phase_high_water(self) -> None:
         """Start a fresh per-phase queue-depth high-water interval."""
@@ -292,6 +316,7 @@ class EventKernel:
                 hops=first.hops,
                 injected_at=first.injected_at,
                 sent_at=first.sent_at,
+                trace_id=first.trace_id,
                 messages=pending,
             )
         )

@@ -60,6 +60,7 @@ from repro.matching.backends import make_backend
 from repro.matching.cover_index import CoverForest
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
+from repro.obs import probes as obs_probes
 
 __all__ = ["MatchResult", "MatchingEngine"]
 
@@ -182,6 +183,20 @@ class MatchingEngine:
         holds — *before* any state is touched, so the store and the
         matcher indexes can never diverge.
         """
+        # The engine is used standalone (no owning network to hand it a
+        # probe), so it looks the module-level probe up per call; with no
+        # probe installed this is a single attribute read plus an
+        # ``is None`` test on top of the original code path.
+        obs = obs_probes.ACTIVE
+        if obs is None:
+            return self._subscribe_impl(subscription)
+        obs.stage_push("engine.subscribe")
+        try:
+            return self._subscribe_impl(subscription)
+        finally:
+            obs.stage_pop()
+
+    def _subscribe_impl(self, subscription: Subscription) -> StoreDecision:
         if subscription.id in self._ids:
             raise ValueError(
                 f"subscription {subscription.id!r} is already registered"
@@ -235,6 +250,16 @@ class MatchingEngine:
         move only the affected subscriptions, and the cover forest is
         spliced around the departed node instead of being rebuilt.
         """
+        obs = obs_probes.ACTIVE
+        if obs is None:
+            return self._unsubscribe_impl(subscription_id)
+        obs.stage_push("engine.unsubscribe")
+        try:
+            return self._unsubscribe_impl(subscription_id)
+        finally:
+            obs.stage_pop()
+
+    def _unsubscribe_impl(self, subscription_id: str) -> Tuple[Subscription, ...]:
         outcome = self.store.remove_detailed(subscription_id)
         if outcome.subscription is None:
             return ()
@@ -378,6 +403,16 @@ class MatchingEngine:
     # ------------------------------------------------------------------
     def match(self, publication: Publication) -> MatchResult:
         """Match a publication following Algorithm 5."""
+        obs = obs_probes.ACTIVE
+        if obs is None:
+            return self._match_impl(publication)
+        obs.stage_push("engine.match")
+        try:
+            return self._match_impl(publication)
+        finally:
+            obs.stage_pop()
+
+    def _match_impl(self, publication: Publication) -> MatchResult:
         self.stats["publications"] += 1
         active_matched, active_tests = self._active_index.match_candidates(
             publication
@@ -455,6 +490,18 @@ class MatchingEngine:
         whole burst against the active set in one pass, and the covered
         set in one pass over the publications that had an active hit.
         """
+        obs = obs_probes.ACTIVE
+        if obs is None:
+            return self._match_batch_impl(publications)
+        obs.stage_push("engine.match_batch")
+        try:
+            return self._match_batch_impl(publications)
+        finally:
+            obs.stage_pop()
+
+    def _match_batch_impl(
+        self, publications: Sequence[Publication]
+    ) -> List[MatchResult]:
         publications = list(publications)
         active_results = self._active_index.match_batch(publications)
         covered_results: Dict[int, Tuple[List[Subscription], int]] = {}

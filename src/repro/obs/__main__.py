@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` dispatches to the observability CLI."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

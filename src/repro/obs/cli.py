@@ -1,0 +1,60 @@
+"""Command-line interface of the observability layer.
+
+::
+
+    repro-obs report spans.jsonl          # per-stage/broker/link tables
+    repro-obs report spans.jsonl --json   # machine-readable summary
+
+Span files are produced by ``repro-scenarios run --obs-spans PATH`` (or
+programmatically via :func:`repro.obs.spans.write_spans`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.report import render_report, summarize
+from repro.obs.spans import read_spans
+
+__all__ = ["main"]
+
+
+def _cmd_report(arguments: argparse.Namespace) -> int:
+    recorder = read_spans(arguments.spans)
+    if arguments.json:
+        print(json.dumps(summarize(recorder), indent=2, sort_keys=True))
+    else:
+        print(render_report(recorder))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-obs`` / ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Render hop-level causal span files into summary tables.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser(
+        "report", help="summarize a span file written by run --obs-spans"
+    )
+    report.add_argument("spans", help="path to a span JSONL file")
+    report.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Summaries and tables over exported span files.
+
+The functions here take a :class:`~repro.obs.spans.SpanRecorder` (live
+or loaded back from JSONL via :func:`~repro.obs.spans.read_spans`) and
+condense it into the per-hop views the ``repro-obs report`` CLI
+renders:
+
+* per-stage virtual-latency percentiles (how long each lifecycle stage
+  takes, in kernel time);
+* the hop-count distribution of delivered notifications;
+* per-broker stage activity;
+* per-link queue-depth high-water marks from the enqueue/delivery
+  timeline;
+* causal-chain completeness of publication traces (every delivery must
+  trace back to an injection; every non-delivering trace must terminate
+  at an attributable stage such as a dedup drop or a dead-end match).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.instruments import Histogram
+from repro.obs.spans import Span, SpanRecorder
+from repro.utils.tables import render_table
+
+__all__ = [
+    "broker_stage_table",
+    "chain_status",
+    "hop_distribution",
+    "link_queue_table",
+    "render_report",
+    "stage_latency_table",
+    "summarize",
+    "trace_chains",
+]
+
+#: stages whose span legitimately ends a publication trace without a
+#: delivery, and the status that makes them terminal
+_TERMINAL_STAGES = {
+    ("dedup", "duplicate"),
+    ("match", "dead-end"),
+    ("match", "forwarded"),
+}
+
+
+def stage_latency_table(recorder: SpanRecorder) -> List[Dict[str, Any]]:
+    """Per-stage virtual-duration summary, ranked by total time.
+
+    Point events (``t0 == t1``) contribute zero-duration samples, so the
+    count column doubles as a stage-activity counter.
+    """
+    histograms: Dict[str, Histogram] = {}
+    for span in recorder.spans:
+        histogram = histograms.get(span.stage)
+        if histogram is None:
+            histogram = histograms[span.stage] = Histogram(span.stage)
+        histogram.observe(span.duration)
+    rows = []
+    for stage, histogram in histograms.items():
+        stats = histogram.summary()
+        rows.append(
+            {
+                "stage": stage,
+                "count": int(stats["count"]),
+                "total": sum(histogram.samples),
+                "mean": stats["mean"],
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+                "p99": stats["p99"],
+                "max": stats["max"],
+            }
+        )
+    rows.sort(key=lambda row: row["total"], reverse=True)
+    return rows
+
+
+def hop_distribution(recorder: SpanRecorder) -> Dict[int, int]:
+    """``{hop count: deliveries}`` over every ``deliver`` span."""
+    distribution: Dict[int, int] = {}
+    for span in recorder.spans:
+        if span.stage != "deliver":
+            continue
+        hops = int(span.detail.get("hops", 0))
+        distribution[hops] = distribution.get(hops, 0) + 1
+    return dict(sorted(distribution.items()))
+
+
+def broker_stage_table(recorder: SpanRecorder) -> List[Tuple[str, str, int]]:
+    """``(broker, stage, span count)`` rows, sorted by broker then stage."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for span in recorder.spans:
+        if span.broker is None:
+            continue
+        key = (span.broker, span.stage)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        (broker, stage, count)
+        for (broker, stage), count in sorted(counts.items())
+    ]
+
+
+def link_queue_table(recorder: SpanRecorder) -> List[Dict[str, Any]]:
+    """Per-link queue-depth summary from the enqueue/delivery timeline."""
+    per_link: Dict[str, List[Tuple[float, int]]] = {}
+    for now, link, depth in recorder.queue_samples:
+        per_link.setdefault(link, []).append((now, depth))
+    rows = []
+    for link, samples in sorted(per_link.items()):
+        depths = [depth for _, depth in samples]
+        rows.append(
+            {
+                "link": link,
+                "samples": len(samples),
+                "high_water": max(depths),
+                "final_depth": depths[-1],
+            }
+        )
+    return rows
+
+
+def trace_chains(recorder: SpanRecorder) -> Dict[str, List[Span]]:
+    """Spans grouped per trace, in emission (= causal) order."""
+    return recorder.traces()
+
+
+def chain_status(spans: List[Span]) -> str:
+    """Classify one trace's causal chain.
+
+    ``complete``
+        the chain starts at ``injected`` and reaches at least one
+        ``deliver`` leaf;
+    ``terminated``
+        no delivery, but every path ends at an attributable terminal
+        stage (a dedup drop, a dead-end match, or a pure-forwarding
+        match on a broker with no local subscriber);
+    ``no-injection`` / ``dangling``
+        malformed chains — spans without a root, or a trace that simply
+        stops mid-flight (what the completeness tests guard against).
+    """
+    if not spans or spans[0].stage != "injected":
+        return "no-injection"
+    if any(span.stage == "deliver" for span in spans):
+        return "complete"
+    if any(
+        (span.stage, span.status) in _TERMINAL_STAGES for span in spans
+    ):
+        return "terminated"
+    # Control traces (subscriptions/unsubscriptions) end at decision or
+    # match-free stages; publications that end anywhere else dangle.
+    if spans[0].kind != "publication":
+        return "terminated"
+    return "dangling"
+
+
+def summarize(recorder: SpanRecorder) -> Dict[str, Any]:
+    """One machine-readable dictionary with every table of the report."""
+    chains = trace_chains(recorder)
+    status_counts: Dict[str, int] = {}
+    for spans in chains.values():
+        status = chain_status(spans)
+        status_counts[status] = status_counts.get(status, 0) + 1
+    return {
+        "spans": len(recorder.spans),
+        "traces": len(chains),
+        "chain_status": dict(sorted(status_counts.items())),
+        "stages": stage_latency_table(recorder),
+        "hop_distribution": {
+            str(hops): count
+            for hops, count in hop_distribution(recorder).items()
+        },
+        "brokers": [
+            {"broker": broker, "stage": stage, "spans": count}
+            for broker, stage, count in broker_stage_table(recorder)
+        ],
+        "links": link_queue_table(recorder),
+    }
+
+
+def render_report(recorder: SpanRecorder) -> str:
+    """The full plain-text report of one span file."""
+    summary = summarize(recorder)
+    sections = [
+        f"{summary['spans']} spans across {summary['traces']} traces; "
+        + ", ".join(
+            f"{count} {status}"
+            for status, count in summary["chain_status"].items()
+        )
+    ]
+
+    stage_rows = [
+        [
+            row["stage"],
+            str(row["count"]),
+            f"{row['total']:g}",
+            f"{row['mean']:g}",
+            f"{row['p50']:g}",
+            f"{row['p95']:g}",
+            f"{row['max']:g}",
+        ]
+        for row in summary["stages"]
+    ]
+    if stage_rows:
+        sections.append("Per-stage virtual time")
+        sections.append(
+            render_table(
+                ("stage", "spans", "total", "mean", "p50", "p95", "max"),
+                stage_rows,
+                right_align_from=1,
+            )
+        )
+
+    if summary["hop_distribution"]:
+        sections.append("Delivery hop-count distribution")
+        sections.append(
+            render_table(
+                ("hops", "deliveries"),
+                [
+                    [hops, str(count)]
+                    for hops, count in summary["hop_distribution"].items()
+                ],
+                right_align_from=1,
+            )
+        )
+
+    if summary["brokers"]:
+        sections.append("Per-broker stage activity")
+        sections.append(
+            render_table(
+                ("broker", "stage", "spans"),
+                [
+                    [row["broker"], row["stage"], str(row["spans"])]
+                    for row in summary["brokers"]
+                ],
+                right_align_from=2,
+            )
+        )
+
+    if summary["links"]:
+        sections.append("Per-link queue depth")
+        sections.append(
+            render_table(
+                ("link", "samples", "high water", "final"),
+                [
+                    [
+                        row["link"],
+                        str(row["samples"]),
+                        str(row["high_water"]),
+                        str(row["final_depth"]),
+                    ]
+                    for row in summary["links"]
+                ],
+                right_align_from=1,
+            )
+        )
+    return "\n\n".join(sections)

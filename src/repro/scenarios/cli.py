@@ -21,6 +21,13 @@ every broker applies (``none``/``pairwise``/``group``/``merging``/
 false volume).  All these choices are folded into the spec, so traces
 record them and replays default to them.  ``--json`` emits the
 machine-readable report instead.
+
+Observability: ``run --obs-spans PATH`` attaches a probe with a span
+recorder and exports the run's hop-level causal spans as JSONL (render
+them with ``repro-obs report``); ``run --metrics-json PATH`` dumps the
+final metric totals plus the per-phase metric deltas as JSON.  Both are
+purely observational — the metric table, the trace file and its hash
+are unchanged by either flag.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ from typing import List, Optional
 from repro.broker.sim import parse_latency_model
 from repro.core.policies import policy_value, strategy_names
 from repro.matching.backends import BACKEND_NAMES
+from repro.obs.probes import ObsProbe
+from repro.obs.spans import SpanRecorder, write_spans
 from repro.scenarios import catalog  # noqa: F401 - populates the registry
 from repro.scenarios.events import compile_scenario
 from repro.scenarios.registry import REGISTRY
@@ -109,8 +118,39 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         digest = write_trace(arguments.trace, compiled, backend=arguments.backend)
         print(f"[trace written to {arguments.trace} ({digest[:12]}…)]",
               file=sys.stderr)
-    runner = ScenarioRunner(spec, seed=arguments.seed, backend=arguments.backend)
+    recorder = None
+    obs = None
+    if arguments.obs_spans:
+        recorder = SpanRecorder()
+        obs = ObsProbe(spans=recorder)
+    runner = ScenarioRunner(
+        spec, seed=arguments.seed, backend=arguments.backend, obs=obs
+    )
     report = runner.run(compiled)
+    if recorder is not None:
+        count = write_spans(arguments.obs_spans, recorder)
+        print(
+            f"[{count} spans ({len(recorder.traces())} traces) written to "
+            f"{arguments.obs_spans}]",
+            file=sys.stderr,
+        )
+    if arguments.metrics_json:
+        payload = {
+            "scenario": report.scenario,
+            "seed": report.seed,
+            "backend": report.backend,
+            "policy": report.policy,
+            "trace_hash": report.trace_hash,
+            "totals": dict(report.totals),
+            "phases": [
+                {"name": phase.name, "metrics": dict(phase.metrics)}
+                for phase in report.phases
+            ],
+        }
+        with open(arguments.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[metrics written to {arguments.metrics_json}]", file=sys.stderr)
     if arguments.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -212,6 +252,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record the compiled event stream as a JSONL trace")
+    run.add_argument(
+        "--obs-spans",
+        default=None,
+        metavar="PATH",
+        help="record hop-level causal spans and export them as JSONL "
+             "(render with `repro-obs report PATH`)",
+    )
+    run.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="dump the final metric totals and per-phase deltas as JSON",
+    )
     run.add_argument("--json", action="store_true", help="emit the report as JSON")
     run.set_defaults(handler=_cmd_run)
 

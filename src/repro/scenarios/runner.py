@@ -25,6 +25,7 @@ from repro.core.store import CoveringPolicyName
 from repro.core.subsumption import SubsumptionChecker
 from repro.matching.backends import BACKEND_NAMES
 from repro.matching.engine import MatchingEngine
+from repro.obs import probes as obs_probes
 from repro.scenarios.events import (
     CompiledScenario,
     EventAction,
@@ -212,6 +213,13 @@ class ScenarioRunner:
     latency_model:
         Latency model override for the network backend's simulation
         kernel; when ``None`` the spec's ``latency_model`` field decides.
+    obs:
+        Optional :class:`~repro.obs.probes.ObsProbe`.  When given, it is
+        installed as the module-level active probe for the duration of
+        :meth:`run` (the previous probe is restored afterwards), so both
+        backends — the network's construction-time capture and the
+        engine's per-call lookup — observe through it.  ``None`` (the
+        default) leaves whatever probe state the process already has.
     """
 
     def __init__(
@@ -221,6 +229,7 @@ class ScenarioRunner:
         backend: str = "network",
         engine_backend: Optional[str] = None,
         latency_model: Optional[str] = None,
+        obs=None,
     ):
         if backend not in ("network", "engine"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -236,6 +245,7 @@ class ScenarioRunner:
         self.backend = backend
         self.engine_backend = engine_backend
         self.latency_model = latency_model
+        self.obs = obs
 
     def _engine_backend_for(self, compiled: CompiledScenario) -> str:
         return self.engine_backend or compiled.spec.engine_backend
@@ -258,6 +268,12 @@ class ScenarioRunner:
             if self.spec is None:
                 raise ValueError("runner needs a spec or a compiled scenario")
             compiled = compile_scenario(self.spec, self.seed)
+        if self.obs is not None:
+            with obs_probes.enabled(self.obs):
+                return self._dispatch(compiled)
+        return self._dispatch(compiled)
+
+    def _dispatch(self, compiled: CompiledScenario) -> ScenarioReport:
         if self.backend == "network":
             return self._run_network(compiled)
         return self._run_engine(compiled)

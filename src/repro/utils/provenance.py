@@ -1,0 +1,64 @@
+"""Build/run provenance stamps for benchmark and profile artifacts.
+
+A measurement without the commit, interpreter and platform it was taken
+on is hard to compare across PRs; :func:`provenance` collects the three
+in one JSON-safe dictionary.  Everything is best-effort: outside a git
+checkout (or with git unavailable) the commit fields degrade to
+``"unknown"`` rather than failing the benchmark run.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional, Union
+
+__all__ = ["git_sha", "provenance"]
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current commit's SHA (``"unknown"`` when unavailable)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _git_dirty(cwd: Optional[str] = None) -> Union[bool, str]:
+    """Whether the working tree has uncommitted changes."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return bool(out.stdout.strip())
+
+
+def provenance(cwd: Optional[str] = None) -> Dict[str, object]:
+    """Commit, interpreter and platform of the measuring environment."""
+    return {
+        "git_sha": git_sha(cwd),
+        "git_dirty": _git_dirty(cwd),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": sys.executable,
+    }
