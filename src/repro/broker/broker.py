@@ -35,11 +35,12 @@ from repro.core.arena import CandidateSet
 from repro.core.merging import cheapest_merge
 from repro.core.policies import (
     DEFAULT_MERGE_BUDGET,
+    ReductionDecision,
     ReductionStrategy,
     make_strategy,
 )
 from repro.core.store import CoveringPolicyName
-from repro.core.subsumption import SubsumptionChecker
+from repro.core.subsumption import SubsumptionChecker, is_deterministic_result
 from repro.model.subscriptions import Subscription
 
 __all__ = ["Broker", "SubscriptionDecision"]
@@ -157,6 +158,16 @@ class Broker:
         #: per-neighbour candidate-set snapshot (contiguous bounds shared
         #: by consecutive covering decisions against an unchanged link)
         self._link_candidates: Dict[str, CandidateSet] = {}
+        #: per-link decision memo: ``(subscription id, bounds bytes,
+        #: snapshot fingerprint) -> ReductionDecision``.  Only decisions
+        #: whose verdict consumed no randomness (and minted no merged
+        #: advertisement) are stored, so a hit replays the exact decision
+        #: the strategy would recompute — one dict probe instead of a full
+        #: pipeline pass.  Any link mutation produces a snapshot with a
+        #: fresh fingerprint, so a stale hit is impossible; the memo is a
+        #: bounded LRU (:attr:`DECISION_MEMO_SIZE`) like the checker's
+        #: verdict cache.
+        self._decision_memo: "OrderedDict[tuple, ReductionDecision]" = OrderedDict()
         #: per-neighbour record of the subscriptions *withheld* from it:
         #: neighbour -> suppressed subscription id -> identifiers of the
         #: forwarded subscriptions whose coverage justified the suppression
@@ -216,6 +227,9 @@ class Broker:
         """Register a local client."""
         self.local_subscribers.add(subscriber_id)
 
+    #: capacity of the per-link decision memo (0 disables memoisation)
+    DECISION_MEMO_SIZE = 4096
+
     # ------------------------------------------------------------------
     # Covering decision
     # ------------------------------------------------------------------
@@ -245,6 +259,44 @@ class Broker:
         self._link_candidates[neighbor] = snapshot
         return snapshot
 
+    def _memoizable(self, decision: ReductionDecision) -> bool:
+        """Whether a decision may be replayed from the per-link memo.
+
+        A merged advertisement mints a fresh subscription object per
+        decision and must never be aliased across replays; a
+        probabilistic verdict consumed random draws that a replay would
+        skip, shifting the seeded stream of later checks.  Everything
+        else (flood, pair-wise, and the checker's deterministic
+        short-circuits) is a pure function of the key.
+        """
+        if decision.merged is not None:
+            return False
+        if decision.result is None:
+            return True
+        return is_deterministic_result(decision.result)
+
+    def _decide(
+        self, subscription: Subscription, candidates: CandidateSet
+    ) -> ReductionDecision:
+        """Run the reduction strategy through the per-link decision memo."""
+        memo = self._decision_memo
+        key = (
+            subscription.id,
+            subscription.lows.tobytes(),
+            subscription.highs.tobytes(),
+            candidates.fingerprint,
+        )
+        decision = memo.get(key)
+        if decision is not None:
+            memo.move_to_end(key)
+            return decision
+        decision = self.strategy.decide(subscription, candidates)
+        if self.DECISION_MEMO_SIZE and self._memoizable(decision):
+            memo[key] = decision
+            while len(memo) > self.DECISION_MEMO_SIZE:
+                memo.popitem(last=False)
+        return decision
+
     def _coverage_decision(
         self, subscription, neighbor: str, message: Optional[Message] = None
     ) -> SubscriptionDecision:
@@ -253,13 +305,14 @@ class Broker:
         The candidate set is the set of advertisements already forwarded
         to that neighbour; the verdict (forward / suppress / replace with
         a merged bounding box) comes from the broker's pluggable
-        reduction strategy.
+        reduction strategy (one memo probe when an identical decision
+        against an unchanged link was already taken).
         """
         obs = self._obs
         if obs is not None:
             obs.stage_push("broker.decision")
             try:
-                decision = self.strategy.decide(
+                decision = self._decide(
                     subscription, self._candidates_for(neighbor)
                 )
             finally:
@@ -284,7 +337,7 @@ class Broker:
                     rspc_iterations=decision.rspc_iterations,
                 )
         else:
-            decision = self.strategy.decide(
+            decision = self._decide(
                 subscription, self._candidates_for(neighbor)
             )
         return SubscriptionDecision(
@@ -622,6 +675,112 @@ class Broker:
             obs.stage_push("broker.match_forward")
         else:
             matching = self.routing.matching_entries(publication)
+        targets, delivered_any = self._match_and_forward(message, matching)
+        if obs is not None:
+            obs.stage_pop()
+            if trace:
+                self._record_match_span(message, delivered_any, targets)
+
+        return self._forwarded_copies(message, targets)
+
+    def handle_publication_batch(
+        self, messages: Sequence[PublicationMessage], values=None
+    ) -> List[List[Message]]:
+        """Process several same-instant publications in one batched pass.
+
+        The batch travels the matching stack as a unit: one bounded-window
+        dedup sweep over the batch, one
+        :meth:`~repro.broker.routing.RoutingTable.matching_entries_batch`
+        lookup for every fresh publication (``values`` optionally carries
+        the batch's points pre-stacked as a ``(B, m)`` array), then the
+        per-publication delivery/forwarding bookkeeping in original order.
+        Returns one outgoing-message list per input message (empty for
+        deduplicated members) so the caller can restore any global
+        scheduling order; deliveries, forwards, dead-letter accounting and
+        each per-message outgoing list are identical to calling
+        :meth:`handle_publication` per message.
+        """
+        obs = self._obs
+        spans = obs.spans if obs is not None else None
+
+        if obs is not None:
+            obs.stage_push("broker.dedup")
+        seen = self._seen_publications
+        fresh: List[PublicationMessage] = []
+        duplicate_flags: List[bool] = []
+        for message in messages:
+            publication_id = message.publication.id
+            duplicate = publication_id in seen
+            duplicate_flags.append(duplicate)
+            if not duplicate:
+                seen[publication_id] = None
+                while len(seen) > self.dedup_window:
+                    seen.popitem(last=False)
+                fresh.append(message)
+        if obs is not None:
+            obs.stage_pop()
+        if spans is not None:
+            for message, duplicate in zip(messages, duplicate_flags):
+                if message.trace_id:
+                    spans.record(
+                        message.trace_id,
+                        "publication",
+                        "dedup",
+                        message.delivered_at,
+                        broker=self.id,
+                        status="duplicate" if duplicate else "fresh",
+                        publication_id=message.publication.id,
+                    )
+        outgoing: List[List[Message]] = [[] for _ in messages]
+        if not fresh:
+            return outgoing
+
+        if values is not None and len(fresh) != len(messages):
+            values = None  # the pre-stacked points no longer line up
+        if obs is not None:
+            obs.stage_push("broker.route_lookup")
+        try:
+            lookups = self.routing.matching_entries_batch(
+                [message.publication for message in fresh], values
+            )
+        finally:
+            if obs is not None:
+                obs.stage_pop()
+        if spans is not None:
+            for message, (matching, route_tests) in zip(fresh, lookups):
+                if message.trace_id:
+                    spans.record(
+                        message.trace_id,
+                        "publication",
+                        "route-lookup",
+                        message.delivered_at,
+                        broker=self.id,
+                        matches=len(matching),
+                        tests=route_tests,
+                    )
+
+        if obs is not None:
+            obs.stage_push("broker.match_forward")
+        fresh_iter = iter(zip(fresh, lookups))
+        try:
+            for position, duplicate in enumerate(duplicate_flags):
+                if duplicate:
+                    continue
+                message, (matching, _tests) = next(fresh_iter)
+                targets, delivered_any = self._match_and_forward(message, matching)
+                if spans is not None and message.trace_id:
+                    self._record_match_span(message, delivered_any, targets)
+                outgoing[position] = self._forwarded_copies(message, targets)
+        finally:
+            if obs is not None:
+                obs.stage_pop()
+        return outgoing
+
+    def _match_and_forward(
+        self, message: PublicationMessage, matching: Sequence[RouteEntry]
+    ) -> Tuple[List[str], bool]:
+        """Deliver locally and pick forwarding targets for one publication."""
+        publication = message.publication
         targets: List[str] = []
         delivered_any = False
         for entry in matching:
@@ -642,24 +801,30 @@ class Broker:
             # matches: dead-end traffic attracted by an over-approximating
             # (merged) advertisement.
             self.dead_letter_publications += 1
-        if obs is not None:
-            obs.stage_pop()
-            if trace:
-                if delivered_any or targets:
-                    status = "forwarded" if targets else "delivered"
-                else:
-                    status = "dead-end"
-                obs.spans.record(
-                    message.trace_id,
-                    "publication",
-                    "match",
-                    message.delivered_at,
-                    broker=self.id,
-                    status=status,
-                    local=int(delivered_any),
-                    forwards=len(targets),
-                )
+        return targets, delivered_any
 
+    def _record_match_span(
+        self, message: PublicationMessage, delivered_any: bool, targets: List[str]
+    ) -> None:
+        if delivered_any or targets:
+            status = "forwarded" if targets else "delivered"
+        else:
+            status = "dead-end"
+        self._obs.spans.record(
+            message.trace_id,
+            "publication",
+            "match",
+            message.delivered_at,
+            broker=self.id,
+            status=status,
+            local=int(delivered_any),
+            forwards=len(targets),
+        )
+
+    def _forwarded_copies(
+        self, message: PublicationMessage, targets: List[str]
+    ) -> List[Message]:
+        publication = message.publication
         return [
             PublicationMessage(
                 sender=self.id,

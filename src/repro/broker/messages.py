@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from repro.model.publications import Publication
 from repro.model.subscriptions import Subscription
 
@@ -106,6 +108,19 @@ class PublicationBatchMessage(Message):
     """
 
     messages: List[PublicationMessage] = field(default_factory=list)
+
+    def values_matrix(self) -> Optional[np.ndarray]:
+        """The batch's publication points as one ``(B, m)`` array.
+
+        The structure-of-arrays view consumed by the batched matchers —
+        built once per batch hop and ``None`` when the contained
+        publications do not share one attribute count (the scalar
+        handlers cover that case).
+        """
+        points = [message.publication.values for message in self.messages]
+        if not points or any(p.shape != points[0].shape for p in points):
+            return None
+        return np.array(points)
 
 
 @dataclass(frozen=True)

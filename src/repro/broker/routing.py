@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.matching.backends import make_backend
 from repro.model.publications import Publication
@@ -118,6 +118,23 @@ class RoutingTable:
             [self._entries[subscription.id] for subscription in matched],
             tests,
         )
+
+    def matching_entries_batch(
+        self, publications: Sequence[Publication], values=None
+    ) -> List[Tuple[List[RouteEntry], int]]:
+        """Per-publication ``(matching entries, tests)`` for a whole burst.
+
+        One ``match_batch`` call answers the entire burst, amortising the
+        backend's array setup across it; each publication's entry list and
+        test charge are identical to :meth:`matching_entries_with_tests`.
+        ``values`` optionally passes the burst's points pre-stacked as a
+        ``(len(publications), m)`` array.
+        """
+        entries = self._entries
+        return [
+            ([entries[subscription.id] for subscription in matched], tests)
+            for matched, tests in self._index.match_batch(publications, values)
+        ]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -39,7 +39,7 @@ scenario specs, trace headers and the CLI::
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -349,6 +349,54 @@ class EventKernel:
             deliver_at, _, message = heapq.heappop(self._heap)
             self.now = deliver_at
             yield message
+
+    def drain_grouped(
+        self,
+    ) -> Iterator[Union[Message, List[PublicationMessage]]]:
+        """:meth:`drain`, but same-instant publication hops pop as one run.
+
+        Under the zero latency model a maximal run of consecutive plain
+        publication hops with one delivery time is popped together and
+        yielded as a single list in pop (sequence) order, so the consumer
+        can process the whole delivery generation batched per receiving
+        broker.  The run is exactly the prefix :meth:`drain` would have
+        yielded one message at a time — everything a run member schedules
+        carries a later sequence number at the same or a later time, so
+        nothing can interleave into the run — which makes the identity
+        obligation the *consumer's*: it must keep per-recipient processing
+        order and reschedule the run's outgoing messages in original run
+        order (see :meth:`~repro.broker.network.BrokerNetwork._drain`).
+        Non-publication messages, singleton runs and timed models (whose
+        queue-depth gauges reflect exact pop timing) are yielded one
+        message at a time.
+        """
+        heap = self._heap
+        group_enabled = self.latency_model.name == "zero"
+        while True:
+            if not heap:
+                if not self._egress:
+                    return
+                self._flush_all()
+            deliver_at, _, message = heapq.heappop(heap)
+            self.now = deliver_at
+            if not group_enabled or type(message) is not PublicationMessage:
+                yield message
+                continue
+            if not (
+                heap
+                and heap[0][0] == deliver_at
+                and type(heap[0][2]) is PublicationMessage
+            ):
+                yield message
+                continue
+            run = [message]
+            while (
+                heap
+                and heap[0][0] == deliver_at
+                and type(heap[0][2]) is PublicationMessage
+            ):
+                run.append(heapq.heappop(heap)[2])
+            yield run
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -138,8 +138,8 @@ class CandidateSet(Sequence):
     # ------------------------------------------------------------------
     def _stack(self) -> None:
         if self.subscriptions:
-            self._lows = np.vstack([s.lows for s in self.subscriptions])
-            self._highs = np.vstack([s.highs for s in self.subscriptions])
+            self._lows = np.array([s.lows for s in self.subscriptions])
+            self._highs = np.array([s.highs for s in self.subscriptions])
         else:
             m = 0 if self.schema is None else self.schema.m
             self._lows = np.empty((0, m), dtype=float)

@@ -115,8 +115,8 @@ class ConflictTable:
         s_highs = subscription.highs
         if cand_lows is None:
             if self.k:
-                cand_lows = np.vstack([c.lows for c in self.candidates])
-                cand_highs = np.vstack([c.highs for c in self.candidates])
+                cand_lows = np.array([c.lows for c in self.candidates])
+                cand_highs = np.array([c.highs for c in self.candidates])
             else:
                 cand_lows = np.empty((0, self.m), dtype=float)
                 cand_highs = np.empty((0, self.m), dtype=float)
@@ -145,6 +145,76 @@ class ConflictTable:
             self._discrete = np.array(
                 [domain.is_discrete for domain in self.schema.domains], dtype=bool
             )
+
+        # Pass-invariant matrices for the MCS inner loop and the rho_w
+        # estimator, built lazily on first use: tables resolved by the
+        # fast deterministic decisions never pay for them.
+        self._pass_cache: Optional[Tuple[np.ndarray, ...]] = None
+        self._gap_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._col_index: Optional[np.ndarray] = None
+
+    def _ensure_pass_cache(self) -> Tuple[np.ndarray, ...]:
+        """Precompute everything of ``conflict_free_counts`` that does not
+        depend on the active row subset.
+
+        A LOW entry of row ``i`` (negation ``x < cl[i,j]``) conflicts with
+        the largest *other-row* defined HIGH bound ``B`` iff:
+
+        * discrete axis: ``floor(min(cl-1, s_high)) < ceil(max(B+1, s_low))``
+          — with ``Hd = floor(min(cl-1, s_high))`` an integer-valued float,
+          ``Hd < ceil(x)`` is equivalent to ``Hd < x``, so the condition is
+          ``(B > Hd - 1) or (Hd < s_low)``;
+        * continuous axis: ``not (min(cl, s_high) > max(B, s_low))`` —
+          with ``Hc = min(cl, s_high)`` this is ``(B >= Hc) or (Hc <= s_low)``,
+          and for floats ``B >= Hc`` is exactly ``B > nextafter(Hc, -inf)``.
+
+        Folding the ``or`` term in as a ``-inf`` threshold makes the whole
+        per-pass LOW test one comparison against a precomputed matrix (the
+        ``-inf`` "no other row" sentinel fails every comparison on its
+        own).  The HIGH side is symmetric against the smallest other-row
+        LOW bound with a ``+inf`` fold.  Cell for cell these thresholds
+        reproduce the original branchy expressions exactly.
+        """
+        cache = self._pass_cache
+        if cache is not None:
+            return cache
+        cl = self.candidate_lows
+        ch = self.candidate_highs
+        s_low = self.subscription.lows
+        s_high = self.subscription.highs
+        discrete = self._discrete
+        with np.errstate(invalid="ignore"):
+            # masked bound matrices: ``±inf`` marks "entry undefined"
+            high_bounds = np.where(self.defined_high, ch, -np.inf)
+            low_bounds = np.where(self.defined_low, cl, np.inf)
+
+            # Only the variant a schema actually needs is materialised —
+            # the unused pair stays ``None`` and the gap cache's matching
+            # branch guards keep it untouched.
+            all_discrete = bool(discrete.all())
+            all_continuous = not all_discrete and not discrete.any()
+            hd = hc = ld = gc = None
+            if not all_continuous:
+                hd = np.floor(np.minimum(cl - 1.0, s_high))
+                thr_low_d = np.where(hd < s_low, -np.inf, hd - 1.0)
+                ld = np.ceil(np.maximum(ch + 1.0, s_low))
+                thr_high_d = np.where(s_high < ld, np.inf, ld + 1.0)
+            if not all_discrete:
+                hc = np.minimum(cl, s_high)
+                thr_low_c = np.where(hc <= s_low, -np.inf, np.nextafter(hc, -np.inf))
+                gc = np.maximum(ch, s_low)
+                thr_high_c = np.where(s_high <= gc, np.inf, np.nextafter(gc, np.inf))
+
+            if all_discrete:
+                thr_low, thr_high = thr_low_d, thr_high_d
+            elif all_continuous:
+                thr_low, thr_high = thr_low_c, thr_high_c
+            else:
+                thr_low = np.where(discrete, thr_low_d, thr_low_c)
+                thr_high = np.where(discrete, thr_high_d, thr_high_c)
+        cache = (high_bounds, low_bounds, thr_low, thr_high, hd, hc, ld, gc)
+        self._pass_cache = cache
+        return cache
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -278,96 +348,61 @@ class ConflictTable:
         between ``B`` and ``A``.  The condition is monotone in ``B`` (larger
         ``B`` => more likely conflict), so per attribute only the largest
         *other-row* ``B`` matters — and symmetrically only the smallest
-        other-row ``A`` for HIGH entries.  The whole pass is a handful of
-        max/second-max reductions over the table's bound matrices.
+        other-row ``A`` for HIGH entries.  With the conflict condition
+        folded into the precomputed per-cell thresholds of
+        :meth:`_ensure_pass_cache`, each call is a max/second-max
+        reduction plus one comparison per side.
         """
-        active = (
-            np.arange(self.k, dtype=int)
-            if rows is None
-            else np.asarray(rows, dtype=int)
-        )
-        n = len(active)
+        high_bounds, low_bounds, thr_low, thr_high = self._ensure_pass_cache()[:4]
+        if rows is not None and len(rows) == self.k:
+            rows = None  # the full set needs no gather
+        if rows is None:
+            n = self.k
+            d_low = self.defined_low
+            d_high = self.defined_high
+            hb = high_bounds
+            lb = low_bounds
+        else:
+            active = np.asarray(rows, dtype=int)
+            n = len(active)
+            d_low = self.defined_low[active]
+            d_high = self.defined_high[active]
+            hb = high_bounds[active]
+            lb = low_bounds[active]
+            thr_low = thr_low[active]
+            thr_high = thr_high[active]
         if n == 0:
             return np.zeros(0, dtype=int)
 
-        s_low = self.subscription.lows
-        s_high = self.subscription.highs
-        d_low = self.defined_low[active]
-        d_high = self.defined_high[active]
-        cl = self.candidate_lows[active]
-        ch = self.candidate_highs[active]
-        discrete = self._discrete
+        # Per attribute: the extreme defined HIGH bound (and the runner-
+        # up, for excluding an entry's own row) — ``±inf`` marks "no
+        # defined entry of that side on this attribute".
+        high_arg = hb.argmax(axis=0)
+        col_index = self._col_index
+        if col_index is None or col_index.size != self.m:
+            col_index = self._col_index = np.arange(self.m)
+        high_max = hb[high_arg, col_index]
+        hb = hb.copy()
+        hb[high_arg, col_index] = -np.inf
+        high_second = hb.max(axis=0)
 
-        all_discrete = bool(discrete.all())
-        all_continuous = not all_discrete and not discrete.any()
+        low_arg = lb.argmin(axis=0)
+        low_min = lb[low_arg, col_index]
+        lb = lb.copy()
+        lb[low_arg, col_index] = np.inf
+        low_second = lb.min(axis=0)
 
-        with np.errstate(invalid="ignore"):
-            # Per attribute: the extreme defined HIGH bound (and the runner-
-            # up, for excluding an entry's own row) — ``±inf`` marks "no
-            # defined entry of that side on this attribute".
-            high_bounds = np.where(d_high, ch, -np.inf)
-            high_arg = high_bounds.argmax(axis=0)
-            col_index = np.arange(self.m)
-            high_max = high_bounds[high_arg, col_index]
-            high_bounds[high_arg, col_index] = -np.inf
-            high_second = high_bounds.max(axis=0)
+        rows_index = np.arange(n)[:, np.newaxis]
+        other_b = np.where(rows_index == high_arg, high_second, high_max)
+        other_a = np.where(rows_index == low_arg, low_second, low_min)
 
-            low_bounds = np.where(d_low, cl, np.inf)
-            low_arg = low_bounds.argmin(axis=0)
-            low_min = low_bounds[low_arg, col_index]
-            low_bounds[low_arg, col_index] = np.inf
-            low_second = low_bounds.min(axis=0)
-
-            rows_index = np.arange(n)[:, np.newaxis]
-
-            # LOW entries against the largest other-row HIGH bound.
-            other_b = np.where(
-                rows_index == high_arg[np.newaxis, :], high_second, high_max
-            )
-            has_other = np.isfinite(other_b)
-            if not all_continuous:
-                highest_d = np.floor(np.minimum(cl - 1.0, s_high))
-                lowest_d = np.ceil(np.maximum(other_b + 1.0, s_low))
-                conflict_d = highest_d < lowest_d
-            if not all_discrete:
-                highest_c = np.minimum(cl, s_high)
-                lowest_c = np.maximum(other_b, s_low)
-                conflict_c = ~(highest_c > lowest_c)
-            if all_discrete:
-                low_conflict = has_other & conflict_d
-            elif all_continuous:
-                low_conflict = has_other & conflict_c
-            else:
-                low_conflict = has_other & np.where(
-                    discrete, conflict_d, conflict_c
-                )
-
-            # HIGH entries against the smallest other-row LOW bound.
-            other_a = np.where(
-                rows_index == low_arg[np.newaxis, :], low_second, low_min
-            )
-            has_other = np.isfinite(other_a)
-            if not all_continuous:
-                highest_d = np.floor(np.minimum(other_a - 1.0, s_high))
-                lowest_d = np.ceil(np.maximum(ch + 1.0, s_low))
-                conflict_d = highest_d < lowest_d
-            if not all_discrete:
-                highest_c = np.minimum(other_a, s_high)
-                lowest_c = np.maximum(ch, s_low)
-                conflict_c = ~(highest_c > lowest_c)
-            if all_discrete:
-                high_conflict = has_other & conflict_d
-            elif all_continuous:
-                high_conflict = has_other & conflict_c
-            else:
-                high_conflict = has_other & np.where(
-                    discrete, conflict_d, conflict_c
-                )
-
-        counts = (d_low & ~low_conflict).sum(axis=1) + (
-            d_high & ~high_conflict
+        # ``thr`` cells are NaN only where the matching ``defined`` flag
+        # is False, so the mask absorbs the comparison's NaN outcome and
+        # ``<=`` is exactly ``~(>)`` on every cell that matters.
+        counts = (d_low & (other_b <= thr_low)).sum(axis=1) + (
+            d_high & (other_a >= thr_high)
         ).sum(axis=1)
-        return counts.astype(int)
+        return counts.astype(int, copy=False)
 
     def _conflict_free_counts_scalar(
         self, rows: Optional[Sequence[int]] = None
@@ -509,14 +544,35 @@ class ConflictTable:
         ``floor(high) - ceil(low) + 1`` of the uncovered slice, on
         continuous axes its length floored by the domain resolution.
         """
-        if rows is None:
-            active = slice(None)
-        else:
+        low_vals, high_vals, initial = self._ensure_gap_cache()
+        if rows is not None:
             active = np.asarray(rows, dtype=int)
-        cl = self.candidate_lows[active]
-        ch = self.candidate_highs[active]
-        d_low = self.defined_low[active]
-        d_high = self.defined_high[active]
+            low_vals = low_vals[active]
+            high_vals = high_vals[active]
+        gaps = np.minimum(
+            initial,
+            np.minimum(
+                low_vals.min(axis=0, initial=np.inf),
+                high_vals.min(axis=0, initial=np.inf),
+            ),
+        )
+        return gaps
+
+    def _ensure_gap_cache(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cell uncovered-slice measures, shared across row subsets.
+
+        The per-cell measures depend only on the table, so Algorithm 2
+        restricted to any row subset is a slice + min-reduction over these
+        matrices.  ``Hd``/``Hc``/``Ld``/``G`` come from
+        :meth:`_ensure_pass_cache` — the same snapped extremes the MCS
+        thresholds are derived from.
+        """
+        cache = self._gap_cache
+        if cache is not None:
+            return cache
+        hd, hc, ld, gc = self._ensure_pass_cache()[4:]
         s_low = self.subscription.lows
         s_high = self.subscription.highs
         discrete = self._discrete
@@ -533,16 +589,10 @@ class ConflictTable:
             # lower bound (one tick removed on discrete axes).
             if not all_continuous:
                 low_disc = np.maximum(
-                    np.maximum(
-                        np.floor(np.minimum(s_high, cl - 1.0)) - lo_ceil + 1.0,
-                        0.0,
-                    ),
-                    1e-12,
+                    np.maximum(hd - lo_ceil + 1.0, 0.0), 1e-12
                 )
             if not all_discrete:
-                low_cont = np.maximum(
-                    np.minimum(s_high, cl) - s_low, resolution
-                )
+                low_cont = np.maximum(hc - s_low, resolution)
             if all_discrete:
                 low_vals = low_disc
             elif all_continuous:
@@ -553,16 +603,10 @@ class ConflictTable:
             # HIGH entries: the slice strictly above the upper bound.
             if not all_continuous:
                 high_disc = np.maximum(
-                    np.maximum(
-                        hi_floor - np.ceil(np.maximum(s_low, ch + 1.0)) + 1.0,
-                        0.0,
-                    ),
-                    1e-12,
+                    np.maximum(hi_floor - ld + 1.0, 0.0), 1e-12
                 )
             if not all_discrete:
-                high_cont = np.maximum(
-                    s_high - np.maximum(s_low, ch), resolution
-                )
+                high_cont = np.maximum(s_high - gc, resolution)
             if all_discrete:
                 high_vals = high_disc
             elif all_continuous:
@@ -571,8 +615,8 @@ class ConflictTable:
                 high_vals = np.where(discrete, high_disc, high_cont)
 
             # Undefined entries contribute nothing to the minima.
-            low_vals = np.where(d_low, low_vals, np.inf)
-            high_vals = np.where(d_high, high_vals, np.inf)
+            low_vals = np.where(self.defined_low, low_vals, np.inf)
+            high_vals = np.where(self.defined_high, high_vals, np.inf)
 
             # Initial value: the full extent of ``s`` on each attribute.
             if all_discrete:
@@ -585,15 +629,9 @@ class ConflictTable:
                     hi_floor - lo_ceil + 1.0,
                     np.maximum(s_high - s_low, resolution),
                 )
-
-        gaps = np.minimum(
-            initial,
-            np.minimum(
-                low_vals.min(axis=0, initial=np.inf),
-                high_vals.min(axis=0, initial=np.inf),
-            ),
-        )
-        return gaps
+        cache = (low_vals, high_vals, initial)
+        self._gap_cache = cache
+        return cache
 
     def _minimum_gap_measures_scalar(
         self, rows: Optional[Sequence[int]] = None

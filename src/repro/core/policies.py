@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.arena import as_candidate_set
 from repro.core.merging import cheapest_merge
 from repro.core.pairwise import PairwiseCoverageChecker
@@ -219,6 +221,23 @@ class NoneStrategy(ReductionStrategy):
             candidates_considered=len(candidates),
         )
 
+    def decide_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[ReductionDecision]:
+        # Flooding never inspects the candidates: one length snapshot
+        # serves the whole batch.
+        considered = len(as_candidate_set(candidates))
+        return [
+            ReductionDecision(
+                subscription,
+                forwarded=True,
+                candidates_considered=considered,
+            )
+            for subscription in subscriptions
+        ]
+
 
 class PairwiseStrategy(ReductionStrategy):
     """Classical single-subscription covering."""
@@ -244,6 +263,55 @@ class PairwiseStrategy(ReductionStrategy):
             forwarded=True,
             candidates_considered=len(candidates),
         )
+
+    def decide_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[ReductionDecision]:
+        """One broadcast covering test for the whole batch.
+
+        Every subscription of the batch is tested against every candidate
+        in a single ``(B, k, m)`` comparison over the shared candidate
+        snapshot's stacked bounds; the per-subscription verdict (including
+        which candidate is reported as the coverer — the first, in
+        candidate order) is identical to sequential :meth:`decide` calls.
+        """
+        shared = as_candidate_set(candidates)
+        if len(shared) == 0 or len(subscriptions) < 2:
+            return [self.decide(s, shared) for s in subscriptions]
+        m = shared.lows.shape[1]
+        if any(s.m != m for s in subscriptions):
+            return [self.decide(s, shared) for s in subscriptions]
+        sub_lows = np.array([s.lows for s in subscriptions])
+        sub_highs = np.array([s.highs for s in subscriptions])
+        covering = (
+            (shared.lows[np.newaxis, :, :] <= sub_lows[:, np.newaxis, :])
+            & (sub_highs[:, np.newaxis, :] <= shared.highs[np.newaxis, :, :])
+        ).all(axis=2)
+        covered = covering.any(axis=1)
+        first = covering.argmax(axis=1)
+        considered = len(shared)
+        decisions: List[ReductionDecision] = []
+        for position, subscription in enumerate(subscriptions):
+            if covered[position]:
+                decisions.append(
+                    ReductionDecision(
+                        subscription,
+                        forwarded=False,
+                        covered_by=(shared[int(first[position])].id,),
+                        candidates_considered=considered,
+                    )
+                )
+            else:
+                decisions.append(
+                    ReductionDecision(
+                        subscription,
+                        forwarded=True,
+                        candidates_considered=considered,
+                    )
+                )
+        return decisions
 
 
 class GroupStrategy(ReductionStrategy):
@@ -287,6 +355,48 @@ class GroupStrategy(ReductionStrategy):
             rspc_iterations=result.iterations_performed,
             result=result,
         )
+
+    def decide_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[ReductionDecision]:
+        """Batched probabilistic covering over one shared snapshot.
+
+        The candidate set is snapshotted (and its bounds stacked) once;
+        :meth:`~repro.core.subsumption.SubsumptionChecker.check_batch`
+        answers every subscription against it in input order, so the
+        checker's random stream is consumed exactly as sequential
+        :meth:`decide` calls would consume it and every verdict (and its
+        MCS dependency set) is identical.
+        """
+        shared = as_candidate_set(candidates)
+        results = self.checker.check_batch(subscriptions, shared)
+        considered = len(shared)
+        decisions: List[ReductionDecision] = []
+        for subscription, result in zip(subscriptions, results):
+            if not result.covered:
+                decisions.append(
+                    ReductionDecision(
+                        subscription,
+                        forwarded=True,
+                        candidates_considered=considered,
+                        rspc_iterations=result.iterations_performed,
+                        result=result,
+                    )
+                )
+            else:
+                decisions.append(
+                    ReductionDecision(
+                        subscription,
+                        forwarded=False,
+                        covered_by=cover_dependencies(result, shared),
+                        candidates_considered=considered,
+                        rspc_iterations=result.iterations_performed,
+                        result=result,
+                    )
+                )
+        return decisions
 
 
 def cover_dependencies(

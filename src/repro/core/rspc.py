@@ -98,12 +98,17 @@ def _sampling_plan(subscription: Subscription) -> list:
     sequence is identical to the historical per-batch derivation, so
     seeded runs produce bit-identical guess streams.
     """
+    cached = getattr(subscription, "_rspc_plan", None)
+    if cached is not None:
+        return cached
     schema = subscription.schema
     vectors = getattr(schema, "vectors", None)
     plan = []
+    lows = subscription.lows.tolist()
+    highs = subscription.highs.tolist()
     for attribute in range(schema.m):
-        low = float(subscription.lows[attribute])
-        high = float(subscription.highs[attribute])
+        low = lows[attribute]
+        high = highs[attribute]
         discrete = (
             bool(vectors.discrete[attribute])
             if vectors is not None
@@ -115,6 +120,12 @@ def _sampling_plan(subscription: Subscription) -> list:
             plan.append((_DRAW_UNIFORM, low, high))
         else:
             plan.append((_DRAW_CONSTANT, low, low))
+    # Subscription bounds are immutable after construction, so the plan
+    # can ride on the object across the many re-checks brokers perform.
+    try:
+        subscription._rspc_plan = plan
+    except AttributeError:  # __slots__ without room for the cache
+        pass
     return plan
 
 
@@ -133,7 +144,9 @@ def _sample_points(
     points = np.empty((count, len(plan)), dtype=float)
     for attribute, (kind, a, b) in enumerate(plan):
         if kind == _DRAW_INTEGERS:
-            points[:, attribute] = rng.integers(a, b, size=count).astype(float)
+            # assignment into the float column casts in place; the draw
+            # itself is the same ``integers`` call either way
+            points[:, attribute] = rng.integers(a, b, size=count)
         elif kind == _DRAW_UNIFORM:
             points[:, attribute] = rng.uniform(a, b, size=count)
         else:
@@ -157,39 +170,56 @@ def _guess_witness(
     # two, and the remaining blocks only ever see the few points still
     # uncovered — an early exit that typically skips most of the O(k·m)
     # membership work without changing a single verdict or guess count.
-    with np.errstate(all="ignore"):
-        volume = np.prod(cand_highs - cand_lows + 1.0, axis=1)
-    order = np.argsort(-volume)
-    blocks = [
-        (
-            cand_lows[order[start : start + _CANDIDATE_BLOCK]][np.newaxis, :, :],
-            cand_highs[order[start : start + _CANDIDATE_BLOCK]][np.newaxis, :, :],
-        )
-        for start in range(0, len(order), _CANDIDATE_BLOCK)
-    ]
+    # A candidate set that fits in one block needs neither the volume
+    # heuristic nor the ordering.
+    if len(cand_lows) <= _CANDIDATE_BLOCK:
+        blocks = [
+            (cand_lows[np.newaxis, :, :], cand_highs[np.newaxis, :, :])
+        ]
+    else:
+        with np.errstate(all="ignore"):
+            volume = np.prod(cand_highs - cand_lows + 1.0, axis=1)
+        order = np.argsort(-volume)
+        blocks = [
+            (
+                cand_lows[order[start : start + _CANDIDATE_BLOCK]][np.newaxis, :, :],
+                cand_highs[order[start : start + _CANDIDATE_BLOCK]][np.newaxis, :, :],
+            )
+            for start in range(0, len(order), _CANDIDATE_BLOCK)
+        ]
 
     performed = 0
+    single_block = len(blocks) == 1
     while performed < allowed:
         batch = min(_BATCH_SIZE, allowed - performed)
         points = _sample_points(plan, rng, batch)
-        covered = np.zeros(batch, dtype=bool)
-        remaining = np.arange(batch)
-        for block_lows, block_highs in blocks:
-            subset = points[remaining, np.newaxis, :]
-            inside = (
+        if single_block:
+            block_lows, block_highs = blocks[0]
+            subset = points[:, np.newaxis, :]
+            covered = (
                 ((subset >= block_lows) & (subset <= block_highs))
                 .all(axis=2)
                 .any(axis=1)
             )
-            covered[remaining[inside]] = True
-            remaining = remaining[~inside]
-            if remaining.size == 0:
-                break
-        misses = np.nonzero(~covered)[0]
-        if misses.size:
-            first = int(misses[0])
-            return points[first], performed + first + 1
-        performed += batch
+        else:
+            covered = np.zeros(batch, dtype=bool)
+            remaining = np.arange(batch)
+            for block_lows, block_highs in blocks:
+                subset = points[remaining, np.newaxis, :]
+                inside = (
+                    ((subset >= block_lows) & (subset <= block_highs))
+                    .all(axis=2)
+                    .any(axis=1)
+                )
+                covered[remaining[inside]] = True
+                remaining = remaining[~inside]
+                if remaining.size == 0:
+                    break
+        if covered.all():
+            performed += batch
+            continue
+        first = int(covered.argmin())
+        return points[first], performed + first + 1
     return None, performed
 
 
@@ -260,8 +290,8 @@ def run_rspc(
     elif isinstance(candidates, CandidateSet):
         cand_lows, cand_highs = candidates.lows, candidates.highs
     else:
-        cand_lows = np.vstack([candidate.lows for candidate in candidates])
-        cand_highs = np.vstack([candidate.highs for candidate in candidates])
+        cand_lows = np.array([candidate.lows for candidate in candidates])
+        cand_highs = np.array([candidate.highs for candidate in candidates])
 
     witness, performed = _guess_witness(
         subscription, cand_lows, cand_highs, generator, allowed

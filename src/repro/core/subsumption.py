@@ -53,7 +53,7 @@ from repro.model.subscriptions import Subscription
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_probability
 
-__all__ = ["SubsumptionChecker"]
+__all__ = ["SubsumptionChecker", "is_deterministic_result"]
 
 #: verdict methods produced without consuming the checker's random stream
 #: — serving them from cache cannot perturb later seeded draws
@@ -65,6 +65,17 @@ _DETERMINISTIC_METHODS = frozenset(
         DecisionMethod.EMPTY_MCS,
     }
 )
+
+
+def is_deterministic_result(result: Optional[SubsumptionResult]) -> bool:
+    """True when ``result`` was produced without consuming random draws.
+
+    Deterministic verdicts are the only ones safe to serve from a memo:
+    replaying a probabilistic verdict would skip its RSPC run and shift
+    every later seeded draw (and the iteration counters) off the
+    sequential reference sequence.
+    """
+    return result is None or result.method in _DETERMINISTIC_METHODS
 
 
 @dataclass

@@ -194,10 +194,8 @@ def estimate_smallest_witness(
     ``rho_w = 1`` (any point of ``s`` is a witness).
     """
     subscription_size = table.subscription.size()
-    gaps = table.minimum_gap_measures(rows)
-    witness_size = 1.0
-    for gap in gaps:
-        witness_size *= float(gap)
+    gaps = table.minimum_gap_measures(rows).tolist()
+    witness_size = math.prod(gaps, start=1.0)
     if subscription_size <= 0:
         rho = 0.0
     else:
@@ -206,7 +204,7 @@ def estimate_smallest_witness(
         subscription_size=float(subscription_size),
         witness_size=float(witness_size),
         rho_w=rho,
-        per_attribute_gaps=tuple(float(g) for g in gaps),
+        per_attribute_gaps=tuple(gaps),
     )
 
 

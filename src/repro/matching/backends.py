@@ -42,7 +42,9 @@ index a routing table that (in principle) carries mixed-schema traffic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Sequence, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
 
 from repro.matching.counting_index import CountingIndex
 from repro.matching.selectivity_index import SelectivityIndex
@@ -86,12 +88,18 @@ class MatcherBackend(ABC):
         """``(matching subscriptions in insertion order, tests charged)``."""
 
     def match_batch(
-        self, publications: Sequence[Publication]
+        self,
+        publications: Sequence[Publication],
+        values: Optional[np.ndarray] = None,
     ) -> List[MatchCandidates]:
         """Match a burst of publications; equals mapping ``match_candidates``.
 
         Vectorised backends override this to amortise array setup across
-        the burst.
+        the burst.  ``values`` optionally carries the publications' points
+        pre-stacked as a ``(len(publications), m)`` array (e.g. a
+        :class:`~repro.broker.messages.PublicationBatchMessage`'s
+        structure-of-arrays view) so a backend that consumes the stacked
+        form does not restack it.
         """
         return [self.match_candidates(p) for p in publications]
 
@@ -114,6 +122,11 @@ class LinearBackend(MatcherBackend):
 
     def __init__(self) -> None:
         self._subscriptions: Dict[str, Subscription] = {}
+        #: cached ``(subscriptions, lows, highs)`` bounds stack for the
+        #: batched path; dropped on any add/remove (and left ``None`` for
+        #: mixed-arity subscription sets, which fall back to the scan)
+        self._stacked: Optional[Tuple[Tuple[Subscription, ...], np.ndarray, np.ndarray]] = None
+        self._stacked_valid = False
 
     def add(self, subscription: Subscription) -> None:
         if subscription.id in self._subscriptions:
@@ -121,9 +134,13 @@ class LinearBackend(MatcherBackend):
                 f"subscription {subscription.id!r} is already indexed"
             )
         self._subscriptions[subscription.id] = subscription
+        self._stacked_valid = False
 
     def remove(self, subscription_id: str) -> bool:
-        return self._subscriptions.pop(subscription_id, None) is not None
+        removed = self._subscriptions.pop(subscription_id, None) is not None
+        if removed:
+            self._stacked_valid = False
+        return removed
 
     def match_candidates(self, publication: Publication) -> MatchCandidates:
         values = publication.values_list
@@ -133,6 +150,64 @@ class LinearBackend(MatcherBackend):
             if subscription.contains_values(values)
         ]
         return matched, len(self._subscriptions)
+
+    def _bounds_stack(
+        self,
+    ) -> Optional[Tuple[Tuple[Subscription, ...], np.ndarray, np.ndarray]]:
+        """Stored subscriptions with their bounds stacked ``(k, m)``.
+
+        ``None`` when the stored subscriptions do not share one attribute
+        count (the flat scan handles mixed sets; the matrix cannot).
+        """
+        if not self._stacked_valid:
+            subscriptions = tuple(self._subscriptions.values())
+            arity = {subscription.m for subscription in subscriptions}
+            if len(arity) == 1:
+                self._stacked = (
+                    subscriptions,
+                    np.array([s.lows for s in subscriptions]),
+                    np.array([s.highs for s in subscriptions]),
+                )
+            else:
+                self._stacked = None
+            self._stacked_valid = True
+        return self._stacked
+
+    def match_batch(
+        self,
+        publications: Sequence[Publication],
+        values: Optional[np.ndarray] = None,
+    ) -> List[MatchCandidates]:
+        """One broadcast containment test for the whole burst.
+
+        The stored bounds are stacked once (cached across bursts until the
+        stored set mutates) and every publication of the burst is tested
+        against every subscription in a single ``(B, k, m)`` comparison.
+        Results — candidate order (insertion order) and the per-publication
+        test charge — are identical to mapping :meth:`match_candidates`.
+        """
+        publications = list(publications)
+        if len(publications) < 2 or not self._subscriptions:
+            return [self.match_candidates(p) for p in publications]
+        stacked = self._bounds_stack()
+        if stacked is None:
+            return [self.match_candidates(p) for p in publications]
+        subscriptions, lows, highs = stacked
+        m = lows.shape[1]
+        if values is None:
+            if any(p.values.shape != (m,) for p in publications):
+                return [self.match_candidates(p) for p in publications]
+            values = np.array([p.values for p in publications])
+        points = values[:, np.newaxis, :]
+        hit_matrix = (
+            ((lows <= points) & (points <= highs)).all(axis=2)
+        )
+        tests = len(subscriptions)
+        results: List[MatchCandidates] = []
+        for row in hit_matrix:
+            hits = np.nonzero(row)[0]
+            results.append(([subscriptions[i] for i in hits], tests))
+        return results
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -180,7 +255,9 @@ class _VectorisedBackend(MatcherBackend):
         return index.match(publication), len(index)
 
     def match_batch(
-        self, publications: Sequence[Publication]
+        self,
+        publications: Sequence[Publication],
+        values: Optional[np.ndarray] = None,
     ) -> List[MatchCandidates]:
         publications = list(publications)
         results: List[MatchCandidates] = [([], 0) for _ in publications]

@@ -305,14 +305,44 @@ class ScenarioRunner:
             snapshot = network.mark_phase(phase_name)
             phase_started = time.perf_counter()
             counts = {"subscribe": 0, "unsubscribe": 0, "publish": 0}
-            for event in phase_events:
+            # Under the zero latency model the kernel is the seed's FIFO
+            # pump, so a run of consecutive publish events can be injected
+            # as one burst through the batch-native path without changing
+            # any observable outcome.  Timed models keep the
+            # one-at-a-time injection (burst injection would collapse the
+            # events onto a single virtual instant).
+            group_publishes = latency_model == "zero"
+            total = len(phase_events)
+            index = 0
+            while index < total:
+                event = phase_events[index]
                 counts[event.action.value] += 1
                 if event.action is EventAction.SUBSCRIBE:
                     network.subscribe(event.client, event.subscription)
+                    index += 1
                 elif event.action is EventAction.UNSUBSCRIBE:
                     network.unsubscribe(event.client, event.subscription_id)
+                    index += 1
                 else:
-                    network.publish(event.client, event.publication)
+                    run_end = index + 1
+                    if group_publishes:
+                        while (
+                            run_end < total
+                            and phase_events[run_end].action
+                            is EventAction.PUBLISH
+                        ):
+                            run_end += 1
+                    if run_end - index == 1:
+                        network.publish(event.client, event.publication)
+                    else:
+                        counts["publish"] += run_end - index - 1
+                        network.publish_many(
+                            [
+                                (e.client, e.publication)
+                                for e in phase_events[index:run_end]
+                            ]
+                        )
+                    index = run_end
             phases.append(
                 PhaseReport(
                     name=phase_name,

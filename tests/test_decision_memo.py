@@ -1,0 +1,167 @@
+"""Broker per-link decision memo: hits, invalidation and the LRU bound.
+
+The broker memoises reduction decisions keyed on (subscription id +
+bounds, candidate-snapshot fingerprint).  Snapshots mint a fresh
+process-unique fingerprint whenever a link's advertisement set changes,
+so a stale hit is structurally impossible; this suite pins that
+behaviour under churn, plus the capacity bound and the rule that
+probabilistic or merge decisions are never replayed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.core.arena import CandidateSet
+from repro.core.policies import ReductionDecision
+from repro.core.results import Answer, DecisionMethod, SubsumptionResult
+from repro.model import Schema, Subscription
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform_integer(2, 0, 100)
+
+
+def box(schema, x1, x2, sid):
+    return Subscription.from_constraints(
+        schema, {"x1": x1, "x2": x2}, subscription_id=sid
+    )
+
+
+def counted(broker):
+    """Wrap the broker's strategy to count real (non-memo) decisions."""
+    calls = []
+    inner = broker.strategy.decide
+
+    def spy(subscription, candidates):
+        calls.append(subscription.id)
+        return inner(subscription, candidates)
+
+    broker.strategy.decide = spy
+    return calls
+
+
+class TestDecisionMemo:
+    def test_unchanged_link_replays_from_memo(self, schema):
+        broker = Broker("B1", neighbors=("N",), policy="group")
+        calls = counted(broker)
+        sub = box(schema, (0, 10), (0, 10), "s")
+        snapshot = CandidateSet(())
+
+        first = broker._decide(sub, snapshot)
+        second = broker._decide(sub, snapshot)
+
+        assert calls == ["s"]  # second call never reached the strategy
+        assert second is first
+        assert first.forwarded  # nothing can cover against an empty set
+
+    def test_membership_change_invalidates(self, schema):
+        """Churn on a link mints a fresh fingerprint — no stale hits."""
+        broker = Broker("B1", neighbors=("N",), policy="group")
+        calls = counted(broker)
+        wide = box(schema, (0, 100), (0, 100), "wide")
+        sub = box(schema, (10, 20), (10, 20), "s")
+
+        before = broker._candidates_for("N")
+        broker._decide(sub, before)
+
+        # advertise `wide` on the link: the snapshot and fingerprint change
+        broker.sent.setdefault("N", {})["wide"] = wide
+        after = broker._candidates_for("N")
+        assert after.fingerprint != before.fingerprint
+        covered = broker._decide(sub, after)
+        assert calls == ["s", "s"]  # memo miss, strategy re-ran
+        assert covered.suppressed and covered.covered_by == ("wide",)
+
+        # withdraw it again: a third distinct snapshot, decided afresh —
+        # the stale "covered by wide" verdict cannot be served
+        del broker.sent["N"]["wide"]
+        empty_again = broker._candidates_for("N")
+        assert empty_again.fingerprint != after.fingerprint
+        fresh = broker._decide(sub, empty_again)
+        assert calls == ["s", "s", "s"]
+        assert fresh.forwarded
+
+    def test_unchanged_link_reuses_snapshot(self, schema):
+        """Same advertisement set -> same snapshot object and fingerprint."""
+        broker = Broker("B1", neighbors=("N",), policy="group")
+        broker.sent.setdefault("N", {})["wide"] = box(
+            schema, (0, 100), (0, 100), "wide"
+        )
+        first = broker._candidates_for("N")
+        second = broker._candidates_for("N")
+        assert second is first
+
+    def test_lru_bound_holds_under_churn(self, schema):
+        broker = Broker("B1", neighbors=("N",), policy="group")
+        broker.DECISION_MEMO_SIZE = 8
+        snapshot = CandidateSet(())
+        for index in range(50):
+            sub = box(schema, (index, index + 1), (0, 10), f"s{index}")
+            broker._decide(sub, snapshot)
+            assert len(broker._decision_memo) <= 8
+
+        # the most recent keys survive, the oldest were evicted
+        calls = counted(broker)
+        broker._decide(box(schema, (49, 50), (0, 10), "s49"), snapshot)
+        assert calls == []
+        broker._decide(box(schema, (0, 1), (0, 10), "s0"), snapshot)
+        assert calls == ["s0"]
+
+    def test_memo_disabled_with_zero_capacity(self, schema):
+        broker = Broker("B1", neighbors=("N",), policy="group")
+        broker.DECISION_MEMO_SIZE = 0
+        calls = counted(broker)
+        sub = box(schema, (0, 10), (0, 10), "s")
+        snapshot = CandidateSet(())
+        broker._decide(sub, snapshot)
+        broker._decide(sub, snapshot)
+        assert calls == ["s", "s"]
+        assert len(broker._decision_memo) == 0
+
+
+class TestMemoizability:
+    """Only draw-free decisions may be replayed (RNG soundness)."""
+
+    def _decision(self, schema, *, merged=None, result=None):
+        return ReductionDecision(
+            subscription=box(schema, (0, 10), (0, 10), "s"),
+            forwarded=result is None or not result.covered,
+            merged=merged,
+            result=result,
+        )
+
+    def _result(self, method, answer=Answer.COVERED):
+        return SubsumptionResult(
+            answer=answer,
+            method=method,
+            original_set_size=1,
+            reduced_set_size=1,
+        )
+
+    def test_plain_and_deterministic_decisions_are_memoizable(self, schema):
+        broker = Broker("B1", policy="group")
+        assert broker._memoizable(self._decision(schema))
+        for method in (
+            DecisionMethod.EMPTY_CANDIDATE_SET,
+            DecisionMethod.PAIRWISE_COVER,
+            DecisionMethod.POLYHEDRON_WITNESS,
+            DecisionMethod.EMPTY_MCS,
+        ):
+            assert broker._memoizable(
+                self._decision(schema, result=self._result(method))
+            )
+
+    def test_probabilistic_and_merged_decisions_are_not(self, schema):
+        broker = Broker("B1", policy="group")
+        probabilistic = self._decision(
+            schema,
+            result=self._result(DecisionMethod.RSPC_EXHAUSTED),
+        )
+        assert not broker._memoizable(probabilistic)
+        merged = self._decision(
+            schema, merged=box(schema, (0, 50), (0, 50), "m")
+        )
+        assert not broker._memoizable(merged)

@@ -1,0 +1,92 @@
+"""Gap attribution in ``benchmarks/profile_network.py`` stays within 100%.
+
+The profiler explains the engine-vs-network wall-clock gap using the
+instrumented stage self-times.  Because the network backend's stages
+subsume work the engine backend also performs, the attribution subtracts
+the engine's instrumented time; this suite pins the resulting invariants
+(fraction within [0, 1], stage shares summing to at most 100%) on a real
+seeded run so a regression to double counting fails loudly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_PROFILER_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "profile_network.py"
+)
+
+
+def _load_profiler():
+    spec = importlib.util.spec_from_file_location(
+        "profile_network", _PROFILER_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("profile_network", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def attribution():
+    """One profiled t1-churn run per backend, attributed."""
+    profiler = _load_profiler()
+    engine_report, engine_probe = profiler.profile_backend(
+        "t1-churn", seed=7, backend="engine"
+    )
+    network_report, network_probe = profiler.profile_backend(
+        "t1-churn", seed=7, backend="network"
+    )
+    return profiler.attribute_gap(
+        network_report, network_probe, engine_report, engine_probe
+    )
+
+
+class TestGapAttribution:
+    def test_fraction_within_unit_interval(self, attribution):
+        fraction = attribution["gap_attributed_fraction"]
+        assert 0.0 <= fraction <= 1.0, (
+            "gap attribution double-counts work shared with the engine "
+            f"backend: fraction={fraction}"
+        )
+
+    def test_attributed_seconds_bounded_by_gap(self, attribution):
+        assert attribution["gap_attributed_seconds"] >= 0.0
+        if attribution["wall_gap_seconds"] > 0:
+            assert (
+                attribution["gap_attributed_seconds"]
+                <= attribution["wall_gap_seconds"]
+            )
+
+    def test_attribution_is_net_of_engine_time(self, attribution):
+        expected = max(
+            attribution["network_instrumented_seconds"]
+            - attribution["engine_instrumented_seconds"],
+            0.0,
+        )
+        assert attribution["gap_attributed_seconds"] == pytest.approx(
+            expected, abs=1e-6
+        )
+
+    def test_stage_shares_sum_to_at_most_one(self, attribution):
+        shares = [
+            entry["share_of_network_time"]
+            for entry in attribution["top_costs"]
+        ]
+        assert all(0.0 <= share <= 1.0 for share in shares)
+        # rounding of individual shares can add at most 5e-5 each
+        assert sum(shares) <= 1.0 + 5e-4
+
+    def test_instrumented_time_within_walls(self, attribution):
+        assert (
+            attribution["network_instrumented_seconds"]
+            <= attribution["network_wall_time"]
+        )
+        assert (
+            attribution["engine_instrumented_seconds"]
+            <= attribution["engine_wall_time"]
+        )
