@@ -1,0 +1,313 @@
+#!/usr/bin/env python
+"""Scaling curve of the sharded decision pool (``BENCH_8.json``).
+
+Runs a decision-bound slice of the ``t4-massive`` workload — a
+paper-redundant subscribe ramp (every subscribe is a covering decision
+against the live set) followed by a publication burst — through
+:class:`~repro.shard.engine.ShardedMatchingEngine` at 1, 2, 4 and 8
+workers, and reports:
+
+* per-phase wall time, with the ramp phase called out as the
+  decision-bound phase the sharding exists for;
+* per-shard busy seconds and the critical path (max busy) — on a
+  single-core container the wall speedup comes from the smaller
+  per-shard candidate sets (total covering work is quadratic in live
+  subscriptions, so N shards do ~1/N of the work), not from true
+  parallelism, and the busy spread shows how even the partition is;
+* the speedup of every worker count against the 1-worker run on the
+  decision-bound phase;
+* a delivery digest (SHA-256 over the per-publication subscriber sets)
+  asserted identical across all worker counts — the partition must
+  never change what gets delivered.
+
+``--massive`` additionally runs the full ``t4-massive`` tier (1M
+subscriptions / 100k publications) at the highest worker count and
+records its completion numbers.  ``--scale`` shrinks the sweep for CI
+smoke use (and skips writing the BENCH file).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_sharding.py --massive    # + t4 run
+    PYTHONPATH=src python benchmarks/bench_sharding.py --scale 0.1  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios import catalog  # noqa: F401 - populates the registry
+from repro.scenarios.events import EventAction, compile_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import PhaseKind, PhaseSpec
+from repro.shard.engine import ShardedMatchingEngine
+from repro.utils.provenance import provenance
+from repro.utils.tables import render_table
+
+#: consecutive publications are matched in pipe-amortising batches of
+#: this size, mirroring the runner's sharded grouping
+_MATCH_CHUNK = 256
+
+
+def _bench_spec(subs: int, pubs: int):
+    """The sweep scenario: one decision-bound ramp + one burst."""
+    base = get_scenario("t4-massive")
+    return dataclasses.replace(
+        base,
+        name="t4-shard-sweep",
+        description="bench_sharding sweep slice of t4-massive",
+        phases=[
+            PhaseSpec("ramp", PhaseKind.SUBSCRIBE_RAMP, {"count": subs}),
+            PhaseSpec("burst", PhaseKind.PUBLISH_BURST, {"count": pubs}),
+        ],
+    )
+
+
+def _run_sweep_point(compiled, spec, shards: int, seed: int) -> Dict[str, Any]:
+    """One worker-count measurement: phase walls, busy split, digest."""
+    engine = ShardedMatchingEngine(
+        shards=shards,
+        policy=spec.policy,
+        delta=spec.delta,
+        max_iterations=spec.max_iterations,
+        merge_budget=spec.merge_budget,
+        seed=seed,
+    )
+    digest = hashlib.sha256()
+    phases: List[Dict[str, Any]] = []
+    busy_before = list(engine.shard_busy_seconds)
+    try:
+        events = compiled.events
+        i, n = 0, len(events)
+        phase_name = events[0].phase if n else None
+        phase_start = time.perf_counter()
+
+        def close_phase(name: str) -> None:
+            nonlocal busy_before
+            engine.sync()
+            wall = time.perf_counter() - phase_start
+            busy_now = list(engine.shard_busy_seconds)
+            deltas = [b - p for b, p in zip(busy_now, busy_before)]
+            busy_before = busy_now
+            phases.append(
+                {
+                    "phase": name,
+                    "wall_seconds": round(wall, 4),
+                    "busy_seconds": [round(d, 4) for d in deltas],
+                    "critical_path_seconds": round(max(deltas), 4),
+                }
+            )
+
+        while i < n:
+            event = events[i]
+            if event.phase != phase_name:
+                close_phase(phase_name)
+                phase_name = event.phase
+                phase_start = time.perf_counter()
+            if event.action is EventAction.PUBLISH:
+                j = i
+                while (
+                    j < n
+                    and j - i < _MATCH_CHUNK
+                    and events[j].action is EventAction.PUBLISH
+                    and events[j].phase == phase_name
+                ):
+                    j += 1
+                batch = [events[k].publication for k in range(i, j)]
+                for result in engine.match_batch(batch):
+                    digest.update(
+                        ",".join(sorted(result.subscribers)).encode()
+                    )
+                    digest.update(b";")
+                i = j
+                continue
+            if event.action is EventAction.SUBSCRIBE:
+                engine.subscribe(event.subscription)
+            elif event.action is EventAction.UNSUBSCRIBE:
+                engine.unsubscribe(event.subscription_id)
+            i += 1
+        if phase_name is not None:
+            close_phase(phase_name)
+        stats = dict(engine.stats)
+    finally:
+        engine.close()
+    return {
+        "workers": shards,
+        "phases": phases,
+        "total_wall_seconds": round(
+            sum(p["wall_seconds"] for p in phases), 4
+        ),
+        "notifications": stats["notifications"],
+        "delivery_digest": digest.hexdigest(),
+    }
+
+
+def _run_massive(shards: int, seed: int) -> Dict[str, Any]:
+    """The full t4-massive tier through the scenario runner."""
+    spec = get_scenario("t4-massive")
+    compile_start = time.perf_counter()
+    compiled = compile_scenario(spec, seed)
+    compile_seconds = time.perf_counter() - compile_start
+    report = ScenarioRunner(backend="engine", shards=shards).run(compiled)
+    payload = report.to_dict()
+    return {
+        "scenario": "t4-massive",
+        "workers": shards,
+        "events": payload["event_count"],
+        "compile_seconds": round(compile_seconds, 1),
+        "wall_seconds": round(payload["wall_time"], 1),
+        "events_per_second": round(payload["events_per_second"], 1),
+        "notifications": payload["metrics"]["notifications"]
+        if "metrics" in payload
+        else None,
+        "trace_hash": payload["trace_hash"],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded decision-pool scaling curve (BENCH_8.json)."
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated worker counts to sweep (default: 1,2,4,8)",
+    )
+    parser.add_argument("--subs", type=int, default=20_000)
+    parser.add_argument("--pubs", type=int, default=4_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink factor for CI smoke (<1 also skips the BENCH file)",
+    )
+    parser.add_argument(
+        "--massive",
+        action="store_true",
+        help="also run the full t4-massive tier at the top worker count",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_8.json"), metavar="PATH"
+    )
+    arguments = parser.parse_args(argv)
+
+    worker_counts = [int(w) for w in arguments.workers.split(",") if w]
+    subs = max(int(arguments.subs * arguments.scale), 200)
+    pubs = max(int(arguments.pubs * arguments.scale), 50)
+    spec = _bench_spec(subs, pubs)
+    compiled = compile_scenario(spec, arguments.seed)
+    print(
+        f"sweep: {subs:,} subscriptions + {pubs:,} publications "
+        f"(seed {arguments.seed}) at workers {worker_counts}"
+    )
+
+    results = []
+    for shards in worker_counts:
+        point = _run_sweep_point(compiled, spec, shards, arguments.seed)
+        results.append(point)
+        ramp = next(p for p in point["phases"] if p["phase"] == "ramp")
+        print(
+            f"  workers={shards}: ramp {ramp['wall_seconds']:.1f}s "
+            f"(critical path {ramp['critical_path_seconds']:.1f}s), "
+            f"total {point['total_wall_seconds']:.1f}s, "
+            f"{point['notifications']:,} notifications"
+        )
+
+    digests = {point["delivery_digest"] for point in results}
+    if len(digests) != 1:
+        print(
+            "FAIL: delivery digests differ across worker counts "
+            f"({sorted(digests)})",
+            file=sys.stderr,
+        )
+        return 1
+    notification_counts = {point["notifications"] for point in results}
+    if len(notification_counts) != 1:
+        print(
+            "FAIL: notification totals differ across worker counts "
+            f"({sorted(notification_counts)})",
+            file=sys.stderr,
+        )
+        return 1
+
+    base = results[0]
+    base_ramp = next(
+        p for p in base["phases"] if p["phase"] == "ramp"
+    )["wall_seconds"]
+    rows = []
+    for point in results:
+        ramp = next(p for p in point["phases"] if p["phase"] == "ramp")
+        point["decision_phase_speedup"] = round(
+            base_ramp / ramp["wall_seconds"], 2
+        )
+        rows.append(
+            [
+                str(point["workers"]),
+                f"{ramp['wall_seconds']:.2f}",
+                f"{ramp['critical_path_seconds']:.2f}",
+                f"{point['total_wall_seconds']:.2f}",
+                f"{point['decision_phase_speedup']:.2f}x",
+            ]
+        )
+    print("\ndecision-bound phase (ramp) scaling:")
+    print(
+        render_table(
+            ("workers", "ramp s", "crit path s", "total s", "speedup"),
+            rows,
+            right_align_from=1,
+        )
+    )
+
+    massive = None
+    if arguments.massive:
+        top = max(worker_counts)
+        print(f"\nrunning full t4-massive at {top} workers…")
+        massive = _run_massive(top, arguments.seed)
+        print(
+            f"  t4-massive: {massive['events']:,} events in "
+            f"{massive['wall_seconds']:,}s "
+            f"({massive['events_per_second']:,} events/s, compile "
+            f"{massive['compile_seconds']}s)"
+        )
+
+    if arguments.scale < 1.0:
+        print("\n[--scale < 1: BENCH file not written]")
+        return 0
+    payload = {
+        "schema": 1,
+        "provenance": provenance(cwd=str(REPO_ROOT)),
+        "cores_available": os.cpu_count(),
+        "sweep": {
+            "scenario": spec.name,
+            "seed": arguments.seed,
+            "subscriptions": subs,
+            "publications": pubs,
+            "policy": str(spec.policy),
+            "results": results,
+        },
+    }
+    if massive is not None:
+        payload["t4_massive"] = massive
+    Path(arguments.output).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"\nresults written to {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

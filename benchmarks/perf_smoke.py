@@ -21,12 +21,19 @@ de-vectorised stage, a quadratic rebuild), not percent-level drift:
   skipped.  The gate therefore guards the *measured* ratio against
   regression (default 2x headroom, covering shared-runner noise)
   rather than enforcing an unreachable target.
+* ``shard:t2-burst`` — the sharded-oracle overhead: the same scenario on
+  the network backend with ``shards=2`` must stay within
+  ``--shard-factor`` (default 0.75x) of the single-process run.  The
+  sharded oracle's answers are byte-identical; this gate only bounds the
+  dispatch/pickle overhead of pushing the oracle into worker processes
+  (measured ~0.88x on a 1-core runner — the default leaves noise room).
 
 Usage::
 
     python benchmarks/perf_smoke.py [--baseline BENCH_7.json]
                                     [--micro-baseline BENCH_5.json]
                                     [--factor 5.0] [--ratio-factor 2.0]
+                                    [--shard-factor 0.75]
                                     [--output smoke.json]
 """
 
@@ -62,13 +69,15 @@ def _measure_check_p50_ns(repeats: int = 40) -> float:
     return samples[len(samples) // 2] * 1e9
 
 
-def _measure_scenario_eps(backend: str, rounds: int = 2) -> float:
+def _measure_scenario_eps(
+    backend: str, rounds: int = 2, shards: int = 0
+) -> float:
     from repro.scenarios import ScenarioRunner, compile_scenario, get_scenario
 
     compiled = compile_scenario(get_scenario("t2-burst"), seed=20060331)
     best = 0.0
     for _ in range(rounds):
-        report = ScenarioRunner(backend=backend).run(compiled)
+        report = ScenarioRunner(backend=backend, shards=shards).run(compiled)
         best = max(best, report.events_per_second)
     return best
 
@@ -99,6 +108,14 @@ def main(argv=None) -> int:
         "(single-run ratios swing ~5.5-9x on loaded runners)",
     )
     parser.add_argument(
+        "--shard-factor",
+        type=float,
+        default=0.75,
+        help="minimum tolerated sharded/single-process throughput ratio on "
+        "the network backend (issue target is 0.9x best-of-N on an idle "
+        "machine; the default leaves room for loaded 1-core runners)",
+    )
+    parser.add_argument(
         "--output", default=None, help="optional path for the measured numbers"
     )
     args = parser.parse_args(argv)
@@ -116,7 +133,9 @@ def main(argv=None) -> int:
     check_p50_ns = _measure_check_p50_ns()
     engine_eps = _measure_scenario_eps("engine")
     network_eps = _measure_scenario_eps("network")
+    sharded_eps = _measure_scenario_eps("network", shards=2)
     ratio = engine_eps / network_eps if network_eps > 0 else float("inf")
+    shard_ratio = sharded_eps / network_eps if network_eps > 0 else 0.0
 
     measured = {
         "check:arena": {"p50_ns": round(check_p50_ns)},
@@ -124,7 +143,11 @@ def main(argv=None) -> int:
         "scenario:t2-burst:network": {
             "events_per_second": round(network_eps, 1)
         },
+        "scenario:t2-burst:network:shards=2": {
+            "events_per_second": round(sharded_eps, 1)
+        },
         "ratio:t2-burst": {"network_to_engine": round(ratio, 2)},
+        "shard:t2-burst": {"sharded_to_single": round(shard_ratio, 3)},
     }
     if args.output:
         Path(args.output).write_text(json.dumps(measured, indent=1) + "\n")
@@ -149,13 +172,20 @@ def main(argv=None) -> int:
             f"t2-burst network-to-engine ratio {ratio:.2f}x vs committed "
             f"{base_ratio}x (allowed {allowed_ratio:.2f}x)"
         )
+    if shard_ratio < args.shard_factor:
+        failures.append(
+            f"t2-burst shards=2 {sharded_eps:,.1f} events/s is "
+            f"{shard_ratio:.3f}x of single-process {network_eps:,.1f} "
+            f"events/s (required >= {args.shard_factor}x)"
+        )
 
     print(
         f"perf-smoke: check:arena p50 {check_p50_ns:,.0f} ns "
         f"(baseline {base_check:,} ns), t2-burst engine "
         f"{engine_eps:,.1f} events/s (baseline {base_eps:,} events/s), "
         f"network/engine {ratio:.2f}x (baseline {base_ratio}x, "
-        f"allowed {allowed_ratio:.2f}x)"
+        f"allowed {allowed_ratio:.2f}x), shards=2/single "
+        f"{shard_ratio:.3f}x (required >= {args.shard_factor}x)"
     )
     if failures:
         for failure in failures:

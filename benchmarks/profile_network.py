@@ -49,17 +49,20 @@ from repro.utils.tables import render_table
 
 #: stages that exist only on the network backend; their summed self-time
 #: is the instrumented explanation of the network-vs-engine gap
-_NETWORK_STAGE_PREFIXES = ("network.", "broker.", "kernel.")
+#: (``shard.`` covers the sharded oracle's dispatch/collect phases)
+_NETWORK_STAGE_PREFIXES = ("network.", "broker.", "kernel.", "shard.")
 
 
 def profile_backend(
-    scenario: str, seed: int, backend: str
+    scenario: str, seed: int, backend: str, shards: int = 0
 ) -> Tuple[Any, ObsProbe]:
     """One probe-attached run; returns (report, probe with stage totals)."""
     spec = get_scenario(scenario)
     compiled = compile_scenario(spec, seed)
     probe = ObsProbe()  # registry + stage timers, no span churn
-    runner = ScenarioRunner(spec, seed=seed, backend=backend, obs=probe)
+    runner = ScenarioRunner(
+        spec, seed=seed, backend=backend, obs=probe, shards=shards
+    )
     report = runner.run(compiled)
     probe.flush_stages_to_registry()
     return report, probe
@@ -199,17 +202,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also write the span JSONL and its rendered report here",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile with N shard worker processes (0 = single-process); "
+             "the coordinator's dispatch/collect show up as shard.* stages",
+    )
     arguments = parser.parse_args(argv)
 
     scenario = "t0-smoke" if arguments.quick else arguments.scenario
     artifacts = Path(arguments.artifacts) if arguments.artifacts else None
 
-    print(f"profiling {scenario} (seed {arguments.seed}) on both backends…")
+    shard_note = f", shards={arguments.shards}" if arguments.shards else ""
+    print(
+        f"profiling {scenario} (seed {arguments.seed}{shard_note}) "
+        "on both backends…"
+    )
     engine_report, engine_probe = profile_backend(
-        scenario, arguments.seed, "engine"
+        scenario, arguments.seed, "engine", shards=arguments.shards
     )
     network_report, network_probe = profile_backend(
-        scenario, arguments.seed, "network"
+        scenario, arguments.seed, "network", shards=arguments.shards
     )
     if engine_report.trace_hash != network_report.trace_hash:
         raise AssertionError("backends profiled different compiled scenarios")
@@ -263,6 +278,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{roundtrip['traces']} traces ({roundtrip['chain_status']})"
     )
 
+    if arguments.shards:
+        # Sharded profiles are interactive diagnostics; never overwrite
+        # the committed single-process baseline the perf gates compare to.
+        print("[--shards set: BENCH file not written]")
+        return 0
     if not arguments.quick:
         payload = {
             "schema": 1,

@@ -93,6 +93,17 @@ class BrokerNetwork:
         :func:`repro.obs.probes.install`; when none is installed
         (the default) the network runs the exact pre-observability code
         path and its metrics/trace hashes are byte-identical to it.
+    shards:
+        Worker-process count for the global delivery oracle.  ``0`` (the
+        default) keeps the in-process oracle; ``N ≥ 1`` partitions the
+        oracle's subscription space across ``N`` shard workers with
+        shared-memory arenas — semantics (and therefore every metric and
+        trace hash) are unchanged at any count.  Call :meth:`close` when
+        done to reap the workers.
+    shard_prefilter:
+        Candidate pre-filter of the sharded oracle (one of
+        :data:`~repro.shard.coordinator.PREFILTER_NAMES`); ignored when
+        ``shards=0``.
     """
 
     def __init__(
@@ -108,6 +119,8 @@ class BrokerNetwork:
         dedup_window: int = 4096,
         merge_budget: float = DEFAULT_MERGE_BUDGET,
         obs=None,
+        shards: int = 0,
+        shard_prefilter: str = "hull",
     ):
         self._obs = obs if obs is not None else obs_probes.active()
         self.policy = resolve_policy(policy)
@@ -142,8 +155,21 @@ class BrokerNetwork:
         self.clients: Dict[str, str] = {}
         #: global oracle: subscription id -> (subscription, client, broker)
         self._all_subscriptions: Dict[str, Tuple[Subscription, str, str]] = {}
-        #: matcher backend answering the oracle's "who should be notified"
-        self._oracle = make_backend(matcher_backend)
+        #: matcher backend answering the oracle's "who should be notified".
+        #: With ``shards=N`` the oracle's subscription set is partitioned
+        #: across N worker processes behind the same MatcherBackend
+        #: contract; the oracle is outside every random stream and its
+        #: sharded answers are merged back into global insertion order, so
+        #: metrics, deliveries and trace hashes are byte-identical at any
+        #: shard count (``shards=0`` keeps today's in-process backend).
+        if shards:
+            from repro.shard.engine import ShardedOracleBackend
+
+            self._oracle = ShardedOracleBackend(
+                shards, backend=matcher_backend, prefilter=shard_prefilter
+            )
+        else:
+            self._oracle = make_backend(matcher_backend)
         self._edge_list: List[Tuple[str, str]] = []
 
         for left, right in edges:
@@ -293,6 +319,8 @@ class BrokerNetwork:
         still travelling.  Delivery and loss accounting are identical to
         publishing one by one.
         """
+        if not publications:
+            return []
         broker_id = self._broker_of(client_id)
         obs = self._obs
         if obs is not None:
@@ -338,6 +366,10 @@ class BrokerNetwork:
         enters at the same virtual time), so timed runs should keep the
         one-at-a-time path.
         """
+        if not operations:
+            # Cheap no-op: no oracle call, no kernel events, no delivery
+            # collection pass over every broker.
+            return []
         pairs = [
             (self._broker_of(client_id), publication)
             for client_id, publication in operations
@@ -612,6 +644,25 @@ class BrokerNetwork:
     def routing_table_sizes(self) -> Dict[str, int]:
         """Routing-table size per broker."""
         return {broker_id: broker.table_size for broker_id, broker in self.brokers.items()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (shard worker processes); idempotent.
+
+        A no-op for the in-process oracle, so callers can close every
+        network unconditionally.
+        """
+        closer = getattr(self._oracle, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "BrokerNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -43,6 +43,11 @@ __all__ = ["SubscriptionArena", "CandidateSet", "as_candidate_set"]
 #: verdict cached against a dead snapshot can never collide with a new one
 _fingerprints = itertools.count(1)
 
+#: free-list size below which compaction never triggers — small stores
+#: churn through the free-list for free, only sustained deletion at scale
+#: should pay for row moves
+_COMPACT_MIN_FREE = 64
+
 
 class CandidateSet(Sequence):
     """Immutable snapshot of a candidate set with contiguous bounds.
@@ -198,6 +203,15 @@ class SubscriptionArena:
     mutation; snapshots taken through :meth:`select` copy the selected
     rows out, so they stay valid — and immutable — across later arena
     mutations.
+
+    Sustained deletion compacts lazily: once the free-list holds at least
+    ``_COMPACT_MIN_FREE`` rows *and* outnumbers the live rows, the live
+    tail rows are moved down into the free slots.  The pass is O(dead +
+    moved), touches the id↔row maps only for the rows it actually moves
+    (never a full rebuild), and keeps the live rows densely packed in
+    ``[0, next_row)`` — which is what lets churn at millions of rows
+    proceed without stalls, and lets zero-copy consumers scan a bounded
+    prefix instead of the whole capacity.
     """
 
     def __init__(self, m: Optional[int] = None, capacity: int = 32):
@@ -208,14 +222,34 @@ class SubscriptionArena:
         if m is not None:
             self._allocate(m)
         self._row_of: dict = {}
+        self._id_at: dict = {}
         self._free: List[int] = []
         self._next_row = 0
         self._version = 0
+        self._compactions = 0
+        self._moved_rows = 0
 
     def _allocate(self, m: int) -> None:
         self._m = int(m)
-        self._lows = np.empty((self._capacity, self._m), dtype=float)
-        self._highs = np.empty((self._capacity, self._m), dtype=float)
+        self._lows, self._highs = self._new_arrays(self._capacity, self._m)
+
+    # ------------------------------------------------------------------
+    # Storage hooks (overridden by shared-memory-backed subclasses)
+    # ------------------------------------------------------------------
+    def _new_arrays(self, capacity: int, m: int):
+        """Allocate a ``(capacity, m)`` lows/highs array pair.
+
+        Subclasses override this to place the backing storage elsewhere
+        (e.g. ``multiprocessing.shared_memory``); growth and compaction
+        then work unchanged against whatever arrays it returns.
+        """
+        return (
+            np.empty((capacity, m), dtype=float),
+            np.empty((capacity, m), dtype=float),
+        )
+
+    def _retire_arrays(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        """Release a superseded array pair after a grow (default: GC)."""
 
     # ------------------------------------------------------------------
     # Introspection
@@ -234,6 +268,21 @@ class SubscriptionArena:
     def capacity(self) -> int:
         """Currently allocated number of rows."""
         return self._capacity if self._lows is not None else 0
+
+    @property
+    def next_row(self) -> int:
+        """One past the highest row ever handed out (live rows ⊆ ``[0, next_row)``)."""
+        return self._next_row
+
+    @property
+    def compactions(self) -> int:
+        """Number of compaction passes performed so far."""
+        return self._compactions
+
+    @property
+    def moved_rows(self) -> int:
+        """Total rows relocated by compaction (the O(moved) work measure)."""
+        return self._moved_rows
 
     @property
     def lows(self) -> Optional[np.ndarray]:
@@ -280,25 +329,58 @@ class SubscriptionArena:
         self._lows[row] = subscription.lows
         self._highs[row] = subscription.highs
         self._row_of[subscription.id] = row
+        self._id_at[row] = subscription.id
         self._version += 1
         return row
 
     def _grow(self) -> None:
         new_capacity = self._capacity * 2
-        lows = np.empty((new_capacity, self._m), dtype=float)
-        highs = np.empty((new_capacity, self._m), dtype=float)
+        lows, highs = self._new_arrays(new_capacity, self._m)
         lows[: self._capacity] = self._lows
         highs[: self._capacity] = self._highs
+        old_lows, old_highs = self._lows, self._highs
         self._lows = lows
         self._highs = highs
         self._capacity = new_capacity
+        self._retire_arrays(old_lows, old_highs)
 
     def remove(self, subscription_id: str) -> int:
         """Release the row of ``subscription_id`` back to the free-list."""
         row = self._row_of.pop(subscription_id)
+        del self._id_at[row]
         self._free.append(row)
         self._version += 1
+        if (
+            len(self._free) >= _COMPACT_MIN_FREE
+            and len(self._free) >= len(self._row_of)
+        ):
+            self._compact()
         return row
+
+    def _compact(self) -> None:
+        """Pack the live rows into ``[0, live)``; O(dead + moved).
+
+        Only the rows moved down out of the tail touch the id↔row maps —
+        entries of unmoved rows are left exactly as they were (no eager
+        rebuild), which the regression test pins.
+        """
+        live = len(self._row_of)
+        dest_slots = sorted(row for row in self._free if row < live)
+        if dest_slots:
+            src_rows = sorted(
+                (row for row in self._id_at if row >= live), reverse=True
+            )
+            for dest, src in zip(dest_slots, src_rows):
+                subscription_id = self._id_at.pop(src)
+                self._lows[dest] = self._lows[src]
+                self._highs[dest] = self._highs[src]
+                self._row_of[subscription_id] = dest
+                self._id_at[dest] = subscription_id
+            self._moved_rows += len(dest_slots)
+        self._free.clear()
+        self._next_row = live
+        self._compactions += 1
+        self._version += 1
 
     def discard(self, subscription_id: str) -> Optional[int]:
         """Like :meth:`remove`, but a no-op for unknown identifiers."""

@@ -54,7 +54,7 @@ import numpy as np
 from repro.core.arena import as_candidate_set
 from repro.core.merging import cheapest_merge
 from repro.core.pairwise import PairwiseCoverageChecker
-from repro.core.results import SubsumptionResult
+from repro.core.results import Answer, DecisionMethod, SubsumptionResult
 from repro.core.subsumption import SubsumptionChecker
 from repro.model.subscriptions import Subscription
 
@@ -154,6 +154,22 @@ class ReductionDecision:
     def merge_performed(self) -> bool:
         """Whether the decision replaced advertisements with a merged box."""
         return self.merged is not None
+
+
+def _empty_set_result() -> SubsumptionResult:
+    """The checker's ``k == 0`` verdict, constructed without entering it.
+
+    Field-for-field the object
+    :meth:`~repro.core.subsumption.SubsumptionChecker.check` returns for
+    an empty candidate set, so batch fast paths that skip the checker
+    stay differentially identical to sequential ``decide`` calls.
+    """
+    return SubsumptionResult(
+        answer=Answer.NOT_COVERED,
+        method=DecisionMethod.EMPTY_CANDIDATE_SET,
+        original_set_size=0,
+        reduced_set_size=0,
+    )
 
 
 class ReductionStrategy:
@@ -278,7 +294,14 @@ class PairwiseStrategy(ReductionStrategy):
         candidate order) is identical to sequential :meth:`decide` calls.
         """
         shared = as_candidate_set(candidates)
-        if len(shared) == 0 or len(subscriptions) < 2:
+        if len(shared) == 0:
+            # Nothing can cover against an empty snapshot: forwarded
+            # verdicts, no per-subscription checker calls.
+            return [
+                ReductionDecision(s, forwarded=True, candidates_considered=0)
+                for s in subscriptions
+            ]
+        if len(subscriptions) < 2:
             return [self.decide(s, shared) for s in subscriptions]
         m = shared.lows.shape[1]
         if any(s.m != m for s in subscriptions):
@@ -371,6 +394,19 @@ class GroupStrategy(ReductionStrategy):
         MCS dependency set) is identical.
         """
         shared = as_candidate_set(candidates)
+        if len(shared) == 0:
+            # The checker's k == 0 fast path never consumes randomness or
+            # touches its cache, so constructing the verdicts here is
+            # byte-identical — and skips the whole batch pipeline.
+            return [
+                ReductionDecision(
+                    s,
+                    forwarded=True,
+                    candidates_considered=0,
+                    result=_empty_set_result(),
+                )
+                for s in subscriptions
+            ]
         results = self.checker.check_batch(subscriptions, shared)
         considered = len(shared)
         decisions: List[ReductionDecision] = []
@@ -453,6 +489,22 @@ class MergingStrategy(ReductionStrategy):
             )
         return self._merge_or_forward(subscription, candidates)
 
+    def decide_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[ReductionDecision]:
+        shared = as_candidate_set(candidates)
+        if len(shared) == 0:
+            # No candidate can cover or merge with the newcomers: the
+            # sequential path would forward every one of them after a
+            # futile pair-wise scan and merge search.
+            return [
+                ReductionDecision(s, forwarded=True, candidates_considered=0)
+                for s in subscriptions
+            ]
+        return [self.decide(s, shared) for s in subscriptions]
+
     def _merge_or_forward(
         self,
         subscription: Subscription,
@@ -521,6 +573,27 @@ class HybridStrategy(MergingStrategy):
         decision.rspc_iterations = result.iterations_performed
         decision.result = result
         return decision
+
+    def decide_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        candidates: Sequence[Subscription],
+    ) -> List[ReductionDecision]:
+        shared = as_candidate_set(candidates)
+        if len(shared) == 0:
+            # Same construction the sequential path would reach (group
+            # check returns the empty-set verdict, merge search finds no
+            # partner) without entering either.
+            return [
+                ReductionDecision(
+                    s,
+                    forwarded=True,
+                    candidates_considered=0,
+                    result=_empty_set_result(),
+                )
+                for s in subscriptions
+            ]
+        return [self.decide(s, shared) for s in subscriptions]
 
 
 # ----------------------------------------------------------------------

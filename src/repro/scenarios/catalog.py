@@ -1,7 +1,10 @@
 """The canonical scenario catalog.
 
-Ten tiers, T0 (seconds, CI smoke) through T3 (stress), built from the
-repository's workload generators:
+Ten canonical tiers, T0 (seconds, CI smoke) through T3 (stress), built
+from the repository's workload generators, plus the off-catalog
+``t4-massive`` scale-out tier (1M subscriptions / 100k publications,
+registered for the sharded benchmarks but excluded from
+``CANONICAL_TIERS``):
 
 ==================  ====  ==============  =======================================
 Name                Tier  Workload        Exercise
@@ -310,6 +313,61 @@ def t3_stress() -> ScenarioSpec:
             ),
         ],
         tags=("stress",),
+    )
+
+
+@register
+def t4_massive() -> ScenarioSpec:
+    """Million-subscription scale-out tier for the sharded decision pool.
+
+    One million subscriptions and one hundred thousand publications,
+    shaped as fifty ramp/storm cycles (20k subscriptions in, 98% out)
+    with a final storm-free ramp feeding the publication burst.  The
+    cycles keep the *live* set bounded at ~20k: every subscribe runs a
+    covering decision against the live set, so an unbounded straight
+    ramp is intrinsically quadratic in live subscriptions — cyclic
+    churn is how a million decisions stay tractable while still
+    exercising arena compaction and the decision pool at full depth.
+    Deliberately **not** part of ``CANONICAL_TIERS``: compiling two
+    million events in-process is a benchmark-scale job, not a tier-1
+    registry test.  Run it via::
+
+        PYTHONPATH=src python -m repro.scenarios run t4-massive \\
+            --backend engine --shards 8
+    """
+    cycles = 50
+    phases: list = []
+    for cycle in range(cycles - 1):
+        phases.append(
+            PhaseSpec(
+                f"ramp-{cycle:02d}", PhaseKind.SUBSCRIBE_RAMP, {"count": 20_000}
+            )
+        )
+        phases.append(
+            PhaseSpec(
+                f"storm-{cycle:02d}",
+                PhaseKind.UNSUBSCRIBE_STORM,
+                {"fraction": 0.98},
+            )
+        )
+    phases.append(
+        PhaseSpec("ramp-final", PhaseKind.SUBSCRIBE_RAMP, {"count": 20_000})
+    )
+    phases.append(
+        PhaseSpec("burst", PhaseKind.PUBLISH_BURST, {"count": 100_000})
+    )
+    return ScenarioSpec(
+        name="t4-massive",
+        tier="T4",
+        description="1M subscriptions over 50 ramp/storm cycles + 100k "
+        "publication burst (sharded scale-out tier).",
+        workload="paper-redundant",
+        workload_params={"m": 8, "domain_size": 10_000, "k": 20},
+        topology=TopologySpec(kind="random-tree", size=8),
+        clients=500,
+        policy="pairwise",
+        phases=phases,
+        tags=("massive", "sharded"),
     )
 
 

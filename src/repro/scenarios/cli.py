@@ -48,6 +48,7 @@ from repro.scenarios.events import compile_scenario
 from repro.scenarios.registry import REGISTRY
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.trace import TraceError, read_trace, write_trace
+from repro.shard.coordinator import PREFILTER_NAMES as SHARD_PREFILTER_NAMES
 from repro.utils.tables import render_table
 
 __all__ = ["main"]
@@ -124,7 +125,12 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         recorder = SpanRecorder()
         obs = ObsProbe(spans=recorder)
     runner = ScenarioRunner(
-        spec, seed=arguments.seed, backend=arguments.backend, obs=obs
+        spec,
+        seed=arguments.seed,
+        backend=arguments.backend,
+        obs=obs,
+        shards=arguments.shards,
+        shard_prefilter=arguments.shard_prefilter,
     )
     report = runner.run(compiled)
     if recorder is not None:
@@ -173,6 +179,8 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
         backend=backend,
         engine_backend=engine_backend,
         latency_model=latency_model,
+        shards=arguments.shards,
+        shard_prefilter=arguments.shard_prefilter,
     )
     report = runner.run(compiled)
     if arguments.json:
@@ -180,6 +188,34 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--shards``/``--shard-prefilter`` flags of run and replay.
+
+    Sharding is an execution-mode choice, not part of the spec: traces
+    and their hashes never record it, so a trace recorded single-process
+    replays sharded (and vice versa) with identical metrics for the
+    network backend.
+    """
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run with N shard worker processes (0 = single-process, "
+             "the default; network backend: shards the delivery oracle, "
+             "semantics unchanged; engine backend: parallel per-shard "
+             "decision pool)",
+    )
+    parser.add_argument(
+        "--shard-prefilter",
+        choices=SHARD_PREFILTER_NAMES,
+        default="hull",
+        help="candidate pre-filter of the shard coordinator "
+             "(default: hull; 'rows' screens against the workers' "
+             "shared-memory arenas zero-copy)",
+    )
 
 
 def _latency_model(value: str) -> str:
@@ -250,6 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="false-volume budget of the merging/hybrid strategies "
              "(default: the spec's merge_budget field)",
     )
+    _add_shard_arguments(run)
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record the compiled event stream as a JSONL trace")
     run.add_argument(
@@ -291,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="latency model to replay with "
              "(default: the one the trace records)",
     )
+    _add_shard_arguments(replay)
     replay.add_argument("--no-verify", action="store_true",
                         help="skip the event-count / trace-hash check")
     replay.add_argument("--json", action="store_true", help="emit the report as JSON")

@@ -220,6 +220,19 @@ class ScenarioRunner:
         backends — the network's construction-time capture and the
         engine's per-call lookup — observe through it.  ``None`` (the
         default) leaves whatever probe state the process already has.
+    shards:
+        Multi-process execution (``0``, the default, is today's
+        single-process path, byte for byte).  An execution-mode choice,
+        deliberately *not* part of the spec: traces and their hashes do
+        not record it.  For the network backend it shards the global
+        delivery oracle (semantics unchanged at any count); for the
+        engine backend it runs a pool of per-shard engines whose checker
+        streams derive from the fixed shard→seed mapping, and groups
+        consecutive publish events into batched dispatches.
+    shard_prefilter:
+        Candidate pre-filter of the shard coordinator (one of
+        :data:`~repro.shard.coordinator.PREFILTER_NAMES`); ignored when
+        ``shards=0``.
     """
 
     def __init__(
@@ -230,6 +243,8 @@ class ScenarioRunner:
         engine_backend: Optional[str] = None,
         latency_model: Optional[str] = None,
         obs=None,
+        shards: int = 0,
+        shard_prefilter: str = "hull",
     ):
         if backend not in ("network", "engine"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -240,12 +255,16 @@ class ScenarioRunner:
             )
         if latency_model is not None:
             parse_latency_model(latency_model)
+        if shards < 0:
+            raise ValueError("shards must be >= 0")
         self.spec = spec
         self.seed = seed
         self.backend = backend
         self.engine_backend = engine_backend
         self.latency_model = latency_model
         self.obs = obs
+        self.shards = shards
+        self.shard_prefilter = shard_prefilter
 
     def _engine_backend_for(self, compiled: CompiledScenario) -> str:
         return self.engine_backend or compiled.spec.engine_backend
@@ -295,7 +314,24 @@ class ScenarioRunner:
             matcher_backend=engine_backend,
             latency_model=latency_model,
             merge_budget=spec.merge_budget,
+            shards=self.shards,
+            shard_prefilter=self.shard_prefilter,
         )
+        try:
+            return self._run_network_impl(
+                compiled, network, engine_backend, latency_model
+            )
+        finally:
+            network.close()
+
+    def _run_network_impl(
+        self,
+        compiled: CompiledScenario,
+        network: BrokerNetwork,
+        engine_backend: str,
+        latency_model: str,
+    ) -> ScenarioReport:
+        spec = compiled.spec
         for client, broker in compiled.clients.items():
             network.attach_client(client, broker)
 
@@ -380,6 +416,23 @@ class ScenarioRunner:
     def _run_engine(self, compiled: CompiledScenario) -> ScenarioReport:
         spec = compiled.spec
         engine_backend = self._engine_backend_for(compiled)
+        if self.shards:
+            from repro.shard.engine import ShardedMatchingEngine
+
+            engine = ShardedMatchingEngine(
+                shards=self.shards,
+                policy=spec.policy,
+                backend=engine_backend,
+                delta=spec.delta,
+                max_iterations=spec.max_iterations,
+                merge_budget=spec.merge_budget,
+                seed=compiled.seed,
+                prefilter=self.shard_prefilter,
+            )
+            try:
+                return self._run_engine_impl(compiled, engine, engine_backend)
+            finally:
+                engine.close()
         checker = SubsumptionChecker(
             delta=spec.delta,
             max_iterations=spec.max_iterations,
@@ -391,6 +444,16 @@ class ScenarioRunner:
             backend=engine_backend,
             merge_budget=spec.merge_budget,
         )
+        return self._run_engine_impl(compiled, engine, engine_backend)
+
+    def _run_engine_impl(
+        self, compiled: CompiledScenario, engine, engine_backend: str
+    ) -> ScenarioReport:
+        spec = compiled.spec
+        #: the shard pool amortises its round-trips over publish runs —
+        #: results are identical to one-at-a-time matching, and the
+        #: single-process path keeps the exact seed loop
+        sharded = self.shards > 0
 
         phases: List[PhaseReport] = []
         started = time.perf_counter()
@@ -398,14 +461,40 @@ class ScenarioRunner:
             before = dict(engine.stats)
             phase_started = time.perf_counter()
             counts = {"subscribe": 0, "unsubscribe": 0, "publish": 0}
-            for event in phase_events:
+            total = len(phase_events)
+            index = 0
+            while index < total:
+                event = phase_events[index]
                 counts[event.action.value] += 1
                 if event.action is EventAction.SUBSCRIBE:
                     engine.subscribe(event.subscription)
+                    index += 1
                 elif event.action is EventAction.UNSUBSCRIBE:
                     engine.unsubscribe(event.subscription_id)
+                    index += 1
                 else:
-                    engine.match(event.publication)
+                    run_end = index + 1
+                    if sharded:
+                        while (
+                            run_end < total
+                            and phase_events[run_end].action
+                            is EventAction.PUBLISH
+                        ):
+                            run_end += 1
+                    if run_end - index == 1:
+                        engine.match(event.publication)
+                    else:
+                        counts["publish"] += run_end - index - 1
+                        engine.match_batch(
+                            [e.publication for e in phase_events[index:run_end]]
+                        )
+                    index = run_end
+            if sharded:
+                # Routing is fire-and-forget; drain the shard pipes at
+                # the phase boundary so buffered decision work is charged
+                # to the phase that generated it (and deferred worker
+                # errors surface here, not phases later).
+                engine.sync()
             metrics = {
                 key: engine.stats[key] - before[key] for key in engine.stats
             }

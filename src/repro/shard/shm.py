@@ -1,0 +1,180 @@
+"""Shared-memory-backed subscription arenas and coordinator-side views.
+
+Each shard worker owns a :class:`SharedSubscriptionArena` — a
+:class:`~repro.core.arena.SubscriptionArena` whose contiguous float64
+``lows``/``highs`` arrays live in a ``multiprocessing.shared_memory``
+segment instead of private heap pages.  Growth allocates a new segment
+(double capacity), copies, and retires the old one; compaction works
+unchanged because both are expressed against the arena's storage hooks.
+
+The coordinator attaches read-only :class:`ShardArenaView` objects over
+those segments, giving it a zero-copy window onto every shard's bounds
+for vectorised candidate pre-filtering — no rows are ever pickled back.
+
+Lifecycle rules (POSIX):
+
+* the **worker** is the sole owner: it creates segments and is the only
+  process that ever ``unlink``\\ s them;
+* the **coordinator** merely attaches; CPython registers on attach as
+  well as on create, but coordinator and workers share one resource
+  tracker (inherited through fork/spawn) with a set-based cache, so the
+  extra registration is absorbed and the worker's unlink retires the
+  name exactly once;
+* a retired generation is unlinked lazily, once no live numpy view
+  exports its buffer (``close`` raises ``BufferError`` until then).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.arena import SubscriptionArena
+
+__all__ = ["ArenaSpec", "SharedSubscriptionArena", "ShardArenaView"]
+
+#: ``(segment name, capacity, m, generation)`` — everything a peer
+#: process needs to map one arena generation
+ArenaSpec = Tuple[str, int, int, int]
+
+
+class SharedSubscriptionArena(SubscriptionArena):
+    """A subscription arena whose bounds arrays live in shared memory.
+
+    One segment holds both arrays as a ``(2, capacity, m)`` float64
+    block (``[0]`` = lows, ``[1]`` = highs).  ``spec()`` describes the
+    current generation for peers; every growth bumps the generation and
+    publishes a new segment name, so an attached view refreshes lazily.
+    """
+
+    def __init__(self, m: Optional[int] = None, capacity: int = 1024,
+                 name_prefix: Optional[str] = None):
+        self._name_prefix = name_prefix or f"rpr{os.getpid():x}"
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._pending_segment: Optional[shared_memory.SharedMemory] = None
+        self._retired: List[shared_memory.SharedMemory] = []
+        self._generation = 0
+        super().__init__(m=m, capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # Storage hooks
+    # ------------------------------------------------------------------
+    def _new_arrays(self, capacity: int, m: int):
+        self._reap_retired()
+        self._generation += 1
+        name = f"{self._name_prefix}g{self._generation}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=2 * capacity * m * 8
+        )
+        block = np.ndarray((2, capacity, m), dtype=np.float64, buffer=segment.buf)
+        if self._segment is None:
+            self._segment = segment
+        else:
+            self._pending_segment = segment
+        return block[0], block[1]
+
+    def _retire_arrays(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        # The caller's frame still exports views over the old buffer, so
+        # the segment cannot be closed here — park it for a later reap.
+        old = self._segment
+        self._segment = self._pending_segment or old
+        self._pending_segment = None
+        if old is not None and old is not self._segment:
+            self._retired.append(old)
+
+    def _reap_retired(self) -> None:
+        still_exported: List[shared_memory.SharedMemory] = []
+        for segment in self._retired:
+            try:
+                segment.close()
+            except BufferError:
+                still_exported.append(segment)
+                continue
+            segment.unlink()
+        self._retired = still_exported
+
+    # ------------------------------------------------------------------
+    # Peer-process description / teardown
+    # ------------------------------------------------------------------
+    def spec(self) -> Optional[ArenaSpec]:
+        """Current ``(name, capacity, m, generation)``, ``None`` pre-allocation."""
+        if self._segment is None or self._m is None:
+            return None
+        return (self._segment.name, self._capacity, self._m, self._generation)
+
+    def close(self) -> None:
+        """Release every segment this arena ever created (worker-side)."""
+        self._lows = None
+        self._highs = None
+        self._retired.append(self._segment)
+        if self._pending_segment is not None:
+            self._retired.append(self._pending_segment)
+        self._segment = None
+        self._pending_segment = None
+        self._retired = [segment for segment in self._retired if segment is not None]
+        self._reap_retired()
+        # Anything still exported leaks its mapping until process exit;
+        # unlink regardless so the name disappears from /dev/shm.
+        for segment in self._retired:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
+        self._retired = []
+
+
+class ShardArenaView:
+    """Coordinator-side zero-copy window onto one shard's arena.
+
+    ``refresh(spec)`` (re-)attaches when the generation changed; ``lows``
+    and ``highs`` are views over the live shared block, sliced to the
+    meaningful prefix by the caller (the worker reports ``next_row`` with
+    every reply).
+    """
+
+    def __init__(self) -> None:
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._generation = -1
+        self.lows: Optional[np.ndarray] = None
+        self.highs: Optional[np.ndarray] = None
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def refresh(self, spec: Optional[ArenaSpec]) -> None:
+        if spec is None:
+            return
+        name, capacity, m, generation = spec
+        if generation == self._generation:
+            return
+        # CPython registers shared memory with the resource tracker on
+        # attach as well as on create.  Coordinator and workers share one
+        # tracker process (it is inherited through fork/spawn) whose cache
+        # is a *set*, so the attach-side registration collapses into the
+        # worker's own and the worker's eventual unlink unregisters the
+        # name exactly once — no cleanup race, no double-unregister.
+        segment = shared_memory.SharedMemory(name=name)
+        block = np.ndarray((2, capacity, m), dtype=np.float64, buffer=segment.buf)
+        self._drop_mapping()
+        self._segment = segment
+        self._generation = generation
+        self.lows = block[0]
+        self.highs = block[1]
+
+    def _drop_mapping(self) -> None:
+        self.lows = None
+        self.highs = None
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+            self._segment = None
+
+    def close(self) -> None:
+        self._drop_mapping()
+        self._generation = -1

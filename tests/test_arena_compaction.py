@@ -1,0 +1,141 @@
+"""Regression tests for the arena's thresholded O(live) compaction.
+
+Sustained deletion must not leave the arena scanning dead rows forever,
+but small stores must also never pay a compaction pass for ordinary
+free-list churn.  These tests pin the trigger threshold (at least
+``_COMPACT_MIN_FREE`` dead rows *and* dead >= live), the O(moved) work
+bound (rows moved <= rows dead), and the no-eager-rebuild property: a
+compaction touches only the id<->row entries of rows it actually moves —
+every live row already inside the packed prefix keeps its exact row.
+"""
+
+import numpy as np
+
+from repro.core.arena import _COMPACT_MIN_FREE, SubscriptionArena
+from repro.model import IntegerDomain, Schema, Subscription
+
+
+def _schema(m: int = 4) -> Schema:
+    return Schema(
+        [(f"a{j}", IntegerDomain(0, 1_000)) for j in range(m)],
+        name="compaction",
+    )
+
+
+def _subscription(schema: Schema, index: int) -> Subscription:
+    low = float(index % 500)
+    return Subscription(
+        schema,
+        lows=[low] * schema.m,
+        highs=[low + 10.0] * schema.m,
+        subscription_id=f"s{index:05d}",
+    )
+
+
+def _fill(arena: SubscriptionArena, schema: Schema, count: int):
+    subscriptions = [_subscription(schema, i) for i in range(count)]
+    for subscription in subscriptions:
+        arena.add(subscription)
+    return subscriptions
+
+
+class TestCompactionThreshold:
+    def test_small_churn_never_compacts(self):
+        """Below _COMPACT_MIN_FREE dead rows the free-list churns for free."""
+        schema = _schema()
+        arena = SubscriptionArena()
+        subscriptions = _fill(arena, schema, _COMPACT_MIN_FREE)
+        # Remove all but one: free (63) > live (1) but free < threshold.
+        for subscription in subscriptions[1:]:
+            arena.remove(subscription.id)
+        assert arena.compactions == 0
+        # Re-adding recycles freed rows without any compaction pass.
+        for index, subscription in enumerate(subscriptions[1:]):
+            arena.add(_subscription(schema, 1000 + index))
+        assert arena.compactions == 0
+
+    def test_dead_majority_triggers_exactly_once(self):
+        schema = _schema()
+        arena = SubscriptionArena()
+        subscriptions = _fill(arena, schema, 200)
+        # Remove rows until dead (>= 64) first outnumbers live: the pass
+        # fires on that removal and resets the free-list, so the next
+        # removal cannot re-trigger.
+        for subscription in subscriptions[:100]:
+            arena.remove(subscription.id)
+        assert arena.compactions == 1
+        assert arena.next_row == len(arena) == 100
+        arena.remove(subscriptions[100].id)
+        assert arena.compactions == 1
+
+    def test_moved_rows_bounded_by_dead_rows(self):
+        schema = _schema()
+        arena = SubscriptionArena()
+        subscriptions = _fill(arena, schema, 300)
+        removed = subscriptions[0:300:2]  # every other row -> 150 dead
+        for subscription in removed:
+            arena.discard(subscription.id)
+        assert arena.compactions == 1
+        # O(moved) bound: only tail rows moved down, never a full rewrite.
+        assert arena.moved_rows <= len(removed)
+        assert arena.next_row == len(arena) == 150
+
+
+class TestCompactionCorrectness:
+    def test_unmoved_rows_keep_identity_and_bounds(self):
+        """No eager id<->row rebuild: packed-prefix rows stay untouched.
+
+        Removing exactly the tail half makes the pass fire (dead == live
+        == 128) with every survivor already inside the packed prefix, so
+        the compaction must relocate nothing and every id<->row entry
+        must survive byte-for-byte.
+        """
+        schema = _schema()
+        arena = SubscriptionArena()
+        subscriptions = _fill(arena, schema, 256)
+        survivors = subscriptions[:128]
+        rows_before = {s.id: arena.row_of(s.id) for s in survivors}
+        for subscription in subscriptions[128:]:
+            arena.remove(subscription.id)
+        assert arena.compactions == 1
+        assert arena.moved_rows == 0
+        for subscription in survivors:
+            assert arena.row_of(subscription.id) == rows_before[subscription.id]
+            row = arena.row_of(subscription.id)
+            np.testing.assert_array_equal(arena.lows[row], subscription.lows)
+            np.testing.assert_array_equal(arena.highs[row], subscription.highs)
+
+    def test_moved_rows_carry_their_bounds(self):
+        """Killing the prefix forces relocation; bounds must follow."""
+        schema = _schema()
+        arena = SubscriptionArena()
+        subscriptions = _fill(arena, schema, 256)
+        # The pass fires at the 128th removal (dead == live) with every
+        # dead slot below the live tail: all 128 survivors move down.
+        for subscription in subscriptions[:128]:
+            arena.remove(subscription.id)
+        survivors = subscriptions[128:]
+        assert arena.compactions == 1
+        assert arena.moved_rows == len(survivors)
+        assert arena.next_row == len(survivors)
+        for subscription in survivors:
+            row = arena.row_of(subscription.id)
+            assert row < len(survivors)
+            np.testing.assert_array_equal(arena.lows[row], subscription.lows)
+            np.testing.assert_array_equal(arena.highs[row], subscription.highs)
+
+    def test_add_after_compaction_appends_to_packed_tail(self):
+        schema = _schema()
+        arena = SubscriptionArena()
+        subscriptions = _fill(arena, schema, 200)
+        # Fires at the 100th removal; the free-list is cleared by the
+        # pass, so the next add appends right after the live prefix.
+        for subscription in subscriptions[:100]:
+            arena.remove(subscription.id)
+        assert arena.compactions == 1
+        packed_end = arena.next_row
+        assert packed_end == 100
+        newcomer = _subscription(schema, 9_999)
+        row = arena.add(newcomer)
+        assert row == packed_end
+        assert arena.row_of(newcomer.id) == row

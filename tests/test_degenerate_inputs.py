@@ -1,0 +1,152 @@
+"""Degenerate-input guards: empty bursts and empty candidate snapshots.
+
+The batch entry points are called from loops that naturally produce
+empty inputs (a publish phase of zero events, a freshly-started broker
+with no routing state).  Those calls must be cheap no-ops — no oracle
+round-trip, no kernel events, no checker invocations — and, where a
+value is returned, field-for-field identical to what the sequential
+path would have produced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import grid_topology
+from repro.broker.network import BrokerNetwork
+from repro.core.arena import CandidateSet
+from repro.core.policies import make_strategy, strategy_names
+from repro.core.subsumption import SubsumptionChecker
+from repro.model import Schema, Subscription
+
+POLICIES = ("none", "pairwise", "group", "merging", "hybrid")
+
+SEED = 7
+
+
+def _schema() -> Schema:
+    return Schema.uniform_integer(3, 0, 1_000)
+
+
+def _subjects(schema: Schema, count: int = 6):
+    return [
+        Subscription.from_constraints(
+            schema,
+            {"x1": (i * 10, i * 10 + 50), "x2": (0, 500)},
+            subscription_id=f"subj-{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class TestPublishManyEmpty:
+    def _network(self) -> BrokerNetwork:
+        network = BrokerNetwork(grid_topology(2, 2), policy="pairwise")
+        network.attach_client("client", "B1")
+        return network
+
+    def test_returns_empty_list(self):
+        network = self._network()
+        assert network.publish_many([]) == []
+
+    def test_no_oracle_call_and_no_kernel_events(self):
+        network = self._network()
+
+        def exploding_match_batch(publications):
+            raise AssertionError("oracle consulted for an empty burst")
+
+        network._oracle.match_batch = exploding_match_batch
+        scheduled_before = network.kernel.scheduled
+        clock_before = network.kernel.now
+        metrics_before = (
+            network.metrics.publication_messages,
+            network.metrics.notifications,
+        )
+        assert network.publish_many([]) == []
+        assert network.kernel.scheduled == scheduled_before
+        assert network.kernel.now == clock_before
+        assert network.kernel.pending == 0
+        assert (
+            network.metrics.publication_messages,
+            network.metrics.notifications,
+        ) == metrics_before
+
+
+class TestDecideBatchEmptySnapshot:
+    """decide_batch against zero candidates: forwarded, checker untouched."""
+
+    @staticmethod
+    def _strategy(policy: str, checker=None):
+        return make_strategy(
+            policy,
+            checker=checker
+            or SubsumptionChecker(delta=1e-3, max_iterations=64, rng=SEED),
+        )
+
+    def test_all_policies_covered(self):
+        assert set(POLICIES) == set(strategy_names())
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("snapshot", ("list", "candidate-set"))
+    def test_matches_sequential_field_for_field(self, policy, snapshot):
+        schema = _schema()
+        subjects = _subjects(schema)
+        candidates = [] if snapshot == "list" else CandidateSet([])
+        scalar_strategy = self._strategy(policy)
+        batch_strategy = self._strategy(policy)
+        scalar = [scalar_strategy.decide(s, []) for s in subjects]
+        batched = batch_strategy.decide_batch(subjects, candidates)
+        assert len(batched) == len(scalar)
+        for a, b in zip(scalar, batched):
+            assert b.subscription.id == a.subscription.id
+            assert b.forwarded is True
+            assert b.covered_by == a.covered_by
+            assert b.candidates_considered == a.candidates_considered == 0
+            assert b.rspc_iterations == a.rspc_iterations
+            assert (b.result is None) == (a.result is None)
+            if b.result is not None:
+                assert b.result.answer == a.result.answer
+                assert b.result.method == a.result.method
+                assert (
+                    b.result.iterations_performed
+                    == a.result.iterations_performed
+                )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_no_checker_calls(self, policy):
+        class ExplodingChecker(SubsumptionChecker):
+            def check(self, *args, **kwargs):
+                raise AssertionError("checker consulted on empty snapshot")
+
+            def check_batch(self, *args, **kwargs):
+                raise AssertionError("checker consulted on empty snapshot")
+
+        strategy = self._strategy(
+            policy,
+            checker=ExplodingChecker(delta=1e-3, max_iterations=64, rng=SEED),
+        )
+        subjects = _subjects(_schema())
+        decisions = strategy.decide_batch(subjects, [])
+        assert all(d.forwarded for d in decisions)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_randomness_not_consumed(self, policy):
+        """An empty-snapshot batch must not advance the RSPC stream."""
+        schema = _schema()
+        subjects = _subjects(schema)
+        probe = Subscription.from_constraints(
+            schema, {"x1": (0, 100)}, subscription_id="probe"
+        )
+        candidates = [
+            Subscription.from_constraints(
+                schema, {"x1": (0, 60)}, subscription_id=f"c{i}"
+            )
+            for i in range(3)
+        ]
+        reference = self._strategy(policy)
+        exercised = self._strategy(policy)
+        exercised.decide_batch(subjects, [])
+        after_empty = exercised.decide(probe, candidates)
+        baseline = reference.decide(probe, candidates)
+        assert after_empty.forwarded == baseline.forwarded
+        assert after_empty.rspc_iterations == baseline.rspc_iterations
